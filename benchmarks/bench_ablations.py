@@ -1,0 +1,89 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+These go beyond the paper's figures and quantify the impact of individual
+design decisions:
+
+* reference-based pointers vs the centralized-collector baseline
+  (how much aggregate bandwidth does the collector attract?);
+* BDD vs uncompressed-polynomial annotations in value-based mode
+  (how much does absorption/condensation save on the wire?);
+* provenance-update propagation in value-based mode (the REFRESH cascade)
+  on a small network, versus first-derivation-only annotations.
+"""
+
+from __future__ import annotations
+
+from repro.core import ExspanNetwork, ProvenanceMode
+from repro.core.modes import prepare_program
+from repro.net import ring_topology
+from repro.protocols import mincost_program, pathvector_program
+
+
+def _maintenance_bytes(mode: ProvenanceMode, size: int = 16, **kwargs) -> int:
+    network = ExspanNetwork(
+        ring_topology(size, seed=3), mincost_program(), mode=mode, **kwargs
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    return network.maintenance_bytes()
+
+
+def test_reference_vs_centralized_collection(benchmark):
+    """Centralized collection should cost several times reference-based pointers."""
+
+    def run():
+        return {
+            "reference": _maintenance_bytes(ProvenanceMode.REFERENCE),
+            "centralized": _maintenance_bytes(ProvenanceMode.CENTRALIZED),
+            "none": _maintenance_bytes(ProvenanceMode.NONE),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["bytes"] = result
+    assert result["none"] < result["reference"] < result["centralized"]
+    assert result["centralized"] > 2 * result["reference"]
+
+
+def test_bdd_vs_polynomial_value_annotations(benchmark):
+    """BDD condensation should not be more expensive than raw polynomials."""
+
+    def run():
+        return {
+            "bdd": _maintenance_bytes(ProvenanceMode.VALUE, value_policy="bdd"),
+            "polynomial": _maintenance_bytes(ProvenanceMode.VALUE, value_policy="polynomial"),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["bytes"] = result
+    assert result["bdd"] <= result["polynomial"] * 1.1
+
+
+def test_value_mode_update_propagation_cost(benchmark):
+    """Propagating provenance updates (REFRESH cascades) costs extra bandwidth.
+
+    This isolates the 'propagation of provenance updates' component of
+    value-based provenance that the paper cites as part of its cost; it is
+    disabled by default in the figure experiments because its cascades grow
+    quickly with network size.
+    """
+
+    def run_with_propagation(enabled: bool) -> int:
+        prepared = prepare_program(mincost_program(), ProvenanceMode.VALUE)
+        network = ExspanNetwork(
+            ring_topology(8, seed=5), mincost_program(), mode=ProvenanceMode.VALUE
+        )
+        for node in network.nodes.values():
+            node.engine.annotation_policy.propagate_updates = enabled
+        network.seed_links()
+        network.run_to_fixpoint()
+        return network.maintenance_bytes()
+
+    def run():
+        return {
+            "without_propagation": run_with_propagation(False),
+            "with_propagation": run_with_propagation(True),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["bytes"] = result
+    assert result["with_propagation"] >= result["without_propagation"]

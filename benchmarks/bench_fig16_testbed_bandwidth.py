@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 16 of the paper.
+
+Figure 16: PATHVECTOR bandwidth over time on the 40-node testbed topology
+(ring plus one random peer per node, maximum degree three).
+
+The benchmark runs the figure's experiment once (simulations are
+deterministic, so repeated timing rounds would only measure the simulator's
+Python overhead), records the reproduced series as extra benchmark info, and
+asserts that the paper's qualitative shape checks hold.
+
+Run with::
+
+    pytest benchmarks/bench_fig16_testbed_bandwidth.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_16_testbed_bandwidth
+from repro.experiments.reporting import check_shape
+
+
+def test_figure_16_testbed_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_16_testbed_bandwidth(**{}), rounds=1, iterations=1
+    )
+    benchmark.extra_info["figure"] = result.figure_id
+    benchmark.extra_info["series_means"] = {
+        label: round(value, 6) for label, value in result.summary().items()
+    }
+    failed = [description for description, holds in check_shape(result) if not holds]
+    assert not failed, (
+        f"Figure 16: shape checks failed: {failed}; "
+        f"series means: {result.summary()}"
+    )

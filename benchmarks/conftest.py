@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+The benchmark modules import ``repro`` directly; this conftest adds ``src``
+to ``sys.path`` so the suite also works from an uninstalled checkout (the
+same trick pytest.ini uses for the unit tests, repeated here because the
+benchmarks live outside the configured ``testpaths``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

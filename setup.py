@@ -1,0 +1,42 @@
+"""Setuptools packaging script.
+
+The development environment for this reproduction is offline and has no
+``wheel`` package, which rules out PEP 517 editable installs (they require
+the ``bdist_wheel`` command).  Keeping the project metadata here and leaving
+``pyproject.toml`` without a ``[project]`` table lets ``pip install -e .``
+use the legacy ``setup.py develop`` path, which works everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ExSPAN: efficient querying and maintenance of network provenance "
+        "at Internet-scale (SIGMOD 2010) - full Python reproduction"
+    ),
+    long_description=open("README.md", encoding="utf-8").read()
+    if __import__("os").path.exists("README.md")
+    else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "numpy", "networkx"],
+    },
+    classifiers=[
+        "Development Status :: 5 - Production/Stable",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Database",
+        "Topic :: System :: Networking",
+    ],
+    keywords=(
+        "provenance declarative-networking datalog distributed-systems "
+        "network-simulation"
+    ),
+)

@@ -1,0 +1,57 @@
+"""ExSPAN reproduction: network provenance for declarative networks.
+
+This package reproduces *Efficient Querying and Maintenance of Network
+Provenance at Internet-Scale* (Zhou et al., SIGMOD 2010).  See README.md for
+a tour and DESIGN.md for the system inventory.
+
+Subpackages
+-----------
+``repro.datalog``
+    NDlog language and per-node pipelined semi-naive evaluation engine.
+``repro.net``
+    Discrete-event network simulator, topologies, churn and traffic stats.
+``repro.core``
+    ExSPAN itself: provenance data model, maintenance rewrite, provenance
+    modes, distributed query engine, optimizations and representations.
+``repro.protocols``
+    The MINCOST, PATHVECTOR and PACKETFORWARD applications.
+``repro.experiments``
+    Runners that regenerate every figure of the paper's evaluation.
+"""
+
+from .datalog import Fact, Program, parse_program
+from .net import (
+    Network,
+    Simulator,
+    Topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    transit_stub_topology,
+)
+from .protocols import (
+    mincost_program,
+    packet_event,
+    packetforward_program,
+    pathvector_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Fact",
+    "Program",
+    "parse_program",
+    "Network",
+    "Simulator",
+    "Topology",
+    "grid_topology",
+    "line_topology",
+    "ring_topology",
+    "transit_stub_topology",
+    "mincost_program",
+    "packet_event",
+    "packetforward_program",
+    "pathvector_program",
+    "__version__",
+]

@@ -1,0 +1,339 @@
+"""The ExSPAN facade: a provenance-aware declarative network.
+
+:class:`ExspanNetwork` wires every piece of the reproduction together:
+
+* a :class:`~repro.net.topology.Topology` and the event-driven
+  :class:`~repro.net.network.Network` built on it;
+* one :class:`~repro.datalog.engine.NDlogEngine` per node running the
+  protocol program prepared for the chosen
+  :class:`~repro.core.modes.ProvenanceMode` (none / reference / value /
+  centralized);
+* one :class:`~repro.core.query.ProvenanceQueryService` per node for
+  distributed provenance queries with pluggable
+  :class:`~repro.core.query.QuerySpec` customizations.
+
+Typical usage (see ``examples/quickstart.py``)::
+
+    topology = ring_topology(20, seed=1)
+    net = ExspanNetwork(topology, mincost_program(), mode=ProvenanceMode.REFERENCE)
+    net.seed_links()
+    net.run_to_fixpoint()
+    outcome = net.query_provenance(Fact("bestPathCost", ("n0", "n5", 3)),
+                                   spec=polynomial_query())
+    print(outcome.result)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..datalog.ast import Fact, Program
+from ..datalog.engine import Delta, NDlogEngine, RuleFiring
+from ..datalog.functions import default_registry
+from ..net.host import Host
+from ..net.message import HEADER_OVERHEAD, Message, payload_size
+from ..net.network import Network
+from ..net.simulator import Simulator
+from ..net.topology import LinkSpec, Topology
+from .errors import ProvenanceError, QueryTimeoutError
+from .modes import PreparedProgram, ProvenanceMode, prepare_program
+from .provenance_graph import ProvenanceGraph, build_global_graph
+from .query import ProvenanceQueryService, QueryOutcome, QuerySpec
+from .storage import ProvenanceStore
+from .vid import fact_vid
+
+__all__ = ["ExspanNode", "ExspanNetwork", "DELTA_MESSAGE_KIND"]
+
+DELTA_MESSAGE_KIND = "delta"
+
+
+@dataclass
+class ExspanNode:
+    """Everything ExSPAN runs at one network node."""
+
+    address: Any
+    host: Host
+    engine: NDlogEngine
+    store: ProvenanceStore
+    query_service: ProvenanceQueryService
+
+
+class ExspanNetwork:
+    """A provenance-aware declarative network over a simulated topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        program: Program,
+        mode: ProvenanceMode = ProvenanceMode.REFERENCE,
+        collector: Optional[Any] = None,
+        value_policy: str = "bdd",
+        link_cost: int = 1,
+        seed: int = 0,
+    ):
+        self.topology = topology
+        self.mode = mode
+        self.link_cost = link_cost
+        self._rng = random.Random(seed)
+        if mode is ProvenanceMode.CENTRALIZED and collector is None:
+            collector = topology.nodes[0]
+        self.collector = collector
+        self.prepared: PreparedProgram = prepare_program(
+            program, mode, collector=collector, value_policy=value_policy
+        )
+        self.network = Network(topology)
+        self.simulator: Simulator = self.network.simulator
+        self.nodes: Dict[Any, ExspanNode] = {}
+        for address in topology.nodes:
+            self.nodes[address] = self._build_node(address)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_node(self, address: Any) -> ExspanNode:
+        host = self.network.host(address)
+        policy = None
+        if self.prepared.annotation_policy_factory is not None:
+            policy = self.prepared.annotation_policy_factory(address)
+        engine = NDlogEngine(
+            address,
+            functions=default_registry(),
+            annotation_policy=policy,
+        )
+        engine.set_send(self._make_sender(host, engine))
+        engine.load_program(self.prepared.program)
+        store = ProvenanceStore(engine)
+        query_service = ProvenanceQueryService(
+            host, store, clock=lambda: self.simulator.now
+        )
+        engine.add_update_listener(
+            lambda action, fact, service=query_service: service.on_tuple_update(fact)
+        )
+        host.register_handler(
+            DELTA_MESSAGE_KIND,
+            lambda message, eng=engine: self._deliver_delta(eng, message),
+        )
+        return ExspanNode(
+            address=address,
+            host=host,
+            engine=engine,
+            store=store,
+            query_service=query_service,
+        )
+
+    def _make_sender(self, host: Host, engine: NDlogEngine) -> Callable[[Any, Delta], None]:
+        def send(destination: Any, delta: Delta) -> None:
+            size = self._delta_size(engine, delta)
+            host.send(destination, DELTA_MESSAGE_KIND, delta, size=size)
+
+        return send
+
+    @staticmethod
+    def _delta_size(engine: NDlogEngine, delta: Delta) -> int:
+        """Bytes charged for shipping *delta* (tuple content + annotation)."""
+        size = HEADER_OVERHEAD + 1  # header plus the insert/delete flag
+        size += len(delta.fact.name)
+        size += payload_size(list(delta.fact.values))
+        if delta.annotation is not None and engine.annotation_policy is not None:
+            size += engine.annotation_policy.size(delta.annotation)
+        return size
+
+    def _deliver_delta(self, engine: NDlogEngine, message: Message) -> None:
+        engine.receive(message.payload)
+        engine.run()
+
+    # ------------------------------------------------------------------ #
+    # node / table access
+    # ------------------------------------------------------------------ #
+    def node(self, address: Any) -> ExspanNode:
+        try:
+            return self.nodes[address]
+        except KeyError:
+            raise ProvenanceError(f"unknown node {address!r}") from None
+
+    def addresses(self) -> List[Any]:
+        return list(self.nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def engine(self, address: Any) -> NDlogEngine:
+        return self.node(address).engine
+
+    def tuples(self, table: str) -> List[Tuple[Any, Tuple[Any, ...]]]:
+        """All rows of *table* across every node, as ``(node, row)`` pairs."""
+        rows: List[Tuple[Any, Tuple[Any, ...]]] = []
+        for address, node in self.nodes.items():
+            for row in node.engine.catalog.table(table).rows():
+                rows.append((address, row))
+        return rows
+
+    def random_tuple(self, table: str) -> Optional[Tuple[Any, Fact]]:
+        """A uniformly random row of *table*, as ``(node, Fact)``."""
+        rows = self.tuples(table)
+        if not rows:
+            return None
+        address, row = self._rng.choice(rows)
+        return address, Fact(table, row)
+
+    # ------------------------------------------------------------------ #
+    # base-fact management
+    # ------------------------------------------------------------------ #
+    def insert_fact(self, fact: Fact, process: bool = True) -> None:
+        """Insert a base fact at the node named by its location specifier."""
+        engine = self.node(fact.location).engine
+        engine.insert(fact)
+        if process:
+            engine.run()
+
+    def delete_fact(self, fact: Fact, process: bool = True) -> None:
+        engine = self.node(fact.location).engine
+        engine.delete(fact)
+        if process:
+            engine.run()
+
+    def seed_links(self, cost: Optional[int] = None) -> int:
+        """Insert one ``link`` fact per direction of every topology link.
+
+        Returns the number of facts inserted.  This mirrors the evaluation
+        setup: "each node is initialized with a link tuple for each of its
+        neighbors".
+        """
+        inserted = 0
+        for source, destination, link_cost in self.topology.link_facts():
+            value = cost if cost is not None else link_cost
+            self.insert_fact(Fact("link", (source, destination, value)), process=False)
+            inserted += 1
+        for node in self.nodes.values():
+            node.engine.run()
+        return inserted
+
+    def add_link(self, a: Any, b: Any, cost: Optional[int] = None) -> None:
+        """Add a symmetric link at runtime (churn): topology + link tuples."""
+        value = cost if cost is not None else self.link_cost
+        if not self.topology.has_link(a, b):
+            self.topology.add_link(a, b, LinkSpec(cost=value))
+        self.insert_fact(Fact("link", (a, b, value)))
+        self.insert_fact(Fact("link", (b, a, value)))
+
+    def remove_link(self, a: Any, b: Any) -> None:
+        """Remove a symmetric link at runtime (churn)."""
+        if self.topology.has_link(a, b):
+            spec = self.topology.link(a, b)
+            cost = spec.cost
+            self.topology.remove_link(a, b)
+        else:
+            cost = self.link_cost
+        self.delete_fact(Fact("link", (a, b, cost)))
+        self.delete_fact(Fact("link", (b, a, cost)))
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run_to_fixpoint(self, max_events: Optional[int] = None) -> float:
+        """Run the simulation until quiescence; returns the fixpoint time."""
+        self.network.run_to_fixpoint(max_events=max_events)
+        return self.simulator.now
+
+    def run_for(self, duration: float) -> None:
+        self.network.run_for(duration)
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    # ------------------------------------------------------------------ #
+    # provenance queries
+    # ------------------------------------------------------------------ #
+    def register_query_spec(self, spec: QuerySpec) -> None:
+        """Install a query customization on every node."""
+        for node in self.nodes.values():
+            node.query_service.register_spec(spec)
+
+    def issue_query(
+        self,
+        fact: Fact,
+        spec: Union[QuerySpec, str],
+        issuer: Optional[Any] = None,
+        target: Optional[Any] = None,
+        on_complete: Optional[Callable[[QueryOutcome], None]] = None,
+    ) -> str:
+        """Asynchronously issue a provenance query for *fact*.
+
+        ``target`` defaults to the node named by the fact's location
+        specifier (where the tuple and its ``prov`` entries live);
+        ``issuer`` defaults to the target itself.
+        """
+        spec_name = self._ensure_spec(spec)
+        target_node = target if target is not None else fact.location
+        issuer_node = issuer if issuer is not None else target_node
+        service = self.node(issuer_node).query_service
+        callback = on_complete if on_complete is not None else (lambda outcome: None)
+        return service.query(fact_vid(fact), target_node, spec_name, callback)
+
+    def query_provenance(
+        self,
+        fact: Fact,
+        spec: Union[QuerySpec, str],
+        issuer: Optional[Any] = None,
+        target: Optional[Any] = None,
+        max_events: Optional[int] = None,
+    ) -> QueryOutcome:
+        """Issue a provenance query and run the simulation until it completes."""
+        outcomes: List[QueryOutcome] = []
+        self.issue_query(
+            fact, spec, issuer=issuer, target=target, on_complete=outcomes.append
+        )
+        self.simulator.run_until_idle(max_events=max_events)
+        if not outcomes:
+            raise QueryTimeoutError(
+                f"provenance query for {fact} did not complete"
+            )
+        return outcomes[0]
+
+    def _ensure_spec(self, spec: Union[QuerySpec, str]) -> str:
+        if isinstance(spec, str):
+            return spec
+        self.register_query_spec(spec)
+        return spec.name
+
+    # ------------------------------------------------------------------ #
+    # analysis / statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self):
+        return self.network.stats
+
+    def maintenance_bytes(self) -> int:
+        """Bytes spent maintaining the protocol (and its provenance)."""
+        return self.network.stats.total_bytes(kinds=[DELTA_MESSAGE_KIND])
+
+    def query_bytes(self) -> int:
+        """Bytes spent answering provenance queries."""
+        return self.network.stats.total_bytes(kinds=["prov"])
+
+    def average_maintenance_bytes_per_node(self) -> float:
+        return self.network.stats.average_bytes_per_node(
+            self.node_count, kinds=[DELTA_MESSAGE_KIND]
+        )
+
+    def provenance_graph(self) -> ProvenanceGraph:
+        """Materialize the global provenance graph (offline analysis helper)."""
+        return build_global_graph(node.store for node in self.nodes.values())
+
+    def provenance_row_counts(self) -> Dict[str, int]:
+        """Total prov / ruleExec rows across the network."""
+        prov_rows = sum(node.store.prov_row_count() for node in self.nodes.values())
+        rule_rows = sum(node.store.rule_exec_row_count() for node in self.nodes.values())
+        return {"prov": prov_rows, "ruleExec": rule_rows}
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregated query-cache statistics across all nodes."""
+        totals = {"entries": 0, "hits": 0, "misses": 0, "invalidations": 0}
+        for node in self.nodes.values():
+            for key, value in node.query_service.cache.stats().items():
+                totals[key] += value
+        return totals

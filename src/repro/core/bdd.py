@@ -1,0 +1,340 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+Section 6.3 of the paper condenses algebraic provenance by encoding it as a
+boolean expression stored in a BDD ("absorption provenance"): base tuples
+become boolean variables, ``+`` becomes OR, ``·`` becomes AND, and the
+canonical reduced form of the BDD applies absorption automatically —
+``a · (a + b)`` collapses to ``a``.  The prototype used an off-the-shelf BDD
+library; this module is a from-scratch pure-Python ROBDD with the standard
+unique-table + apply-cache construction.
+
+The public entry point is :class:`BddManager`; :class:`Bdd` values are
+immutable handles that support ``&``, ``|``, ``~``, restriction, model
+counting, satisfiability and conversion back to a minimal DNF.  A
+:func:`Bdd.wire_size` estimate feeds the bandwidth accounting of the BDD
+provenance-query experiments (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["BddManager", "Bdd", "BDD_NODE_BYTES"]
+
+#: Serialized size charged per BDD node (variable index + two node pointers).
+BDD_NODE_BYTES = 6
+
+
+@dataclass(frozen=True)
+class _Node:
+    """An internal BDD node: variable index, low (else) and high (then) ids."""
+
+    var: int
+    low: int
+    high: int
+
+
+class BddManager:
+    """Owns the unique table, the apply cache and the variable ordering."""
+
+    FALSE_ID = 0
+    TRUE_ID = 1
+
+    def __init__(self) -> None:
+        # node id -> _Node; ids 0 and 1 are the terminal constants
+        self._nodes: Dict[int, _Node] = {}
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._next_id = 2
+        self._var_index: Dict[str, int] = {}
+        self._var_names: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # variables and terminals
+    # ------------------------------------------------------------------ #
+    def variable_index(self, name: str) -> int:
+        """Return (allocating if needed) the ordering index of variable *name*."""
+        index = self._var_index.get(name)
+        if index is None:
+            index = len(self._var_names)
+            self._var_index[name] = index
+            self._var_names.append(name)
+        return index
+
+    def variable_name(self, index: int) -> str:
+        return self._var_names[index]
+
+    @property
+    def variable_count(self) -> int:
+        return len(self._var_names)
+
+    def false(self) -> "Bdd":
+        return Bdd(self, self.FALSE_ID)
+
+    def true(self) -> "Bdd":
+        return Bdd(self, self.TRUE_ID)
+
+    def var(self, name: str) -> "Bdd":
+        """Return the BDD for a single variable."""
+        index = self.variable_index(name)
+        return Bdd(self, self._make_node(index, self.FALSE_ID, self.TRUE_ID))
+
+    # ------------------------------------------------------------------ #
+    # node construction (reduction rules applied here)
+    # ------------------------------------------------------------------ #
+    def _make_node(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node_id = self._unique.get(key)
+        if node_id is None:
+            node_id = self._next_id
+            self._next_id += 1
+            self._nodes[node_id] = _Node(var, low, high)
+            self._unique[key] = node_id
+        return node_id
+
+    def _node(self, node_id: int) -> _Node:
+        return self._nodes[node_id]
+
+    def _is_terminal(self, node_id: int) -> bool:
+        return node_id in (self.FALSE_ID, self.TRUE_ID)
+
+    # ------------------------------------------------------------------ #
+    # apply
+    # ------------------------------------------------------------------ #
+    def _apply(self, op: str, left: int, right: int) -> int:
+        terminal = self._apply_terminal(op, left, right)
+        if terminal is not None:
+            return terminal
+        key = (op, left, right) if left <= right else (op, right, left)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        left_var = None if self._is_terminal(left) else self._node(left).var
+        right_var = None if self._is_terminal(right) else self._node(right).var
+        if right_var is None or (left_var is not None and left_var <= right_var):
+            top = left_var
+        else:
+            top = right_var
+        left_low, left_high = self._cofactors(left, top)
+        right_low, right_high = self._cofactors(right, top)
+        low = self._apply(op, left_low, right_low)
+        high = self._apply(op, left_high, right_high)
+        result = self._make_node(top, low, high)
+        self._apply_cache[key] = result
+        return result
+
+    def _apply_terminal(self, op: str, left: int, right: int) -> Optional[int]:
+        if op == "and":
+            if left == self.FALSE_ID or right == self.FALSE_ID:
+                return self.FALSE_ID
+            if left == self.TRUE_ID:
+                return right
+            if right == self.TRUE_ID:
+                return left
+            if left == right:
+                return left
+        elif op == "or":
+            if left == self.TRUE_ID or right == self.TRUE_ID:
+                return self.TRUE_ID
+            if left == self.FALSE_ID:
+                return right
+            if right == self.FALSE_ID:
+                return left
+            if left == right:
+                return left
+        return None
+
+    def _cofactors(self, node_id: int, var: Optional[int]) -> Tuple[int, int]:
+        if self._is_terminal(node_id):
+            return node_id, node_id
+        node = self._node(node_id)
+        if var is None or node.var != var:
+            return node_id, node_id
+        return node.low, node.high
+
+    def _negate(self, node_id: int) -> int:
+        if node_id == self.FALSE_ID:
+            return self.TRUE_ID
+        if node_id == self.TRUE_ID:
+            return self.FALSE_ID
+        key = ("not", node_id, node_id)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        node = self._node(node_id)
+        result = self._make_node(
+            node.var, self._negate(node.low), self._negate(node.high)
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def _restrict(self, node_id: int, var: int, value: bool) -> int:
+        if self._is_terminal(node_id):
+            return node_id
+        node = self._node(node_id)
+        if node.var > var:
+            return node_id
+        if node.var == var:
+            return node.high if value else node.low
+        low = self._restrict(node.low, var, value)
+        high = self._restrict(node.high, var, value)
+        return self._make_node(node.var, low, high)
+
+    # ------------------------------------------------------------------ #
+    # bulk constructors
+    # ------------------------------------------------------------------ #
+    def from_dnf(self, products: Iterable[Iterable[str]]) -> "Bdd":
+        """Build the BDD of a monotone DNF (iterable of products of variables)."""
+        result = self.FALSE_ID
+        for product in products:
+            term = self.TRUE_ID
+            for name in product:
+                term = self._apply("and", term, self.var(name).node_id)
+            result = self._apply("or", result, term)
+        return Bdd(self, result)
+
+    def from_expression(self, expression) -> "Bdd":
+        """Build the BDD of a provenance polynomial (duck-typed on to_dnf)."""
+        return self.from_dnf(expression.to_dnf())
+
+
+class Bdd:
+    """An immutable handle onto a node in a :class:`BddManager`."""
+
+    __slots__ = ("manager", "node_id")
+
+    def __init__(self, manager: BddManager, node_id: int):
+        self.manager = manager
+        self.node_id = node_id
+
+    # ------------------------------------------------------------------ #
+    # boolean algebra
+    # ------------------------------------------------------------------ #
+    def __and__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return Bdd(self.manager, self.manager._apply("and", self.node_id, other.node_id))
+
+    def __or__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return Bdd(self.manager, self.manager._apply("or", self.node_id, other.node_id))
+
+    def __invert__(self) -> "Bdd":
+        return Bdd(self.manager, self.manager._negate(self.node_id))
+
+    def _check(self, other: "Bdd") -> None:
+        if other.manager is not self.manager:
+            raise ValueError("cannot combine BDDs from different managers")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bdd)
+            and other.manager is self.manager
+            and other.node_id == self.node_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node_id))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_false(self) -> bool:
+        return self.node_id == BddManager.FALSE_ID
+
+    @property
+    def is_true(self) -> bool:
+        return self.node_id == BddManager.TRUE_ID
+
+    def restrict(self, assignment: Dict[str, bool]) -> "Bdd":
+        """Fix some variables to constants and return the simplified BDD."""
+        node_id = self.node_id
+        for name, value in assignment.items():
+            index = self.manager.variable_index(name)
+            node_id = self.manager._restrict(node_id, index, value)
+        return Bdd(self.manager, node_id)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a complete assignment (missing variables are False)."""
+        node_id = self.node_id
+        manager = self.manager
+        while not manager._is_terminal(node_id):
+            node = manager._node(node_id)
+            name = manager.variable_name(node.var)
+            node_id = node.high if assignment.get(name, False) else node.low
+        return node_id == BddManager.TRUE_ID
+
+    def support(self) -> FrozenSet[str]:
+        """The set of variables this BDD actually depends on."""
+        names: Set[str] = set()
+        for node in self._reachable_nodes():
+            names.add(self.manager.variable_name(node.var))
+        return frozenset(names)
+
+    def node_count(self) -> int:
+        """Number of internal nodes (excluding the terminals)."""
+        return len(list(self._reachable_nodes()))
+
+    def _reachable_nodes(self) -> Iterable[_Node]:
+        seen: Set[int] = set()
+        stack = [self.node_id]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen or self.manager._is_terminal(node_id):
+                continue
+            seen.add(node_id)
+            node = self.manager._node(node_id)
+            stack.append(node.low)
+            stack.append(node.high)
+            yield node
+
+    def satisfying_products(self) -> FrozenSet[FrozenSet[str]]:
+        """Return the minimal monotone DNF equivalent to this BDD.
+
+        Only meaningful for monotone functions (which provenance always is);
+        each product lists the variables that must be true.
+        """
+        products: Set[FrozenSet[str]] = set()
+        self._collect_products(self.node_id, [], products)
+        # absorption: drop any product that is a superset of another
+        minimal: List[FrozenSet[str]] = []
+        for product in sorted(products, key=len):
+            if any(keeper <= product for keeper in minimal):
+                continue
+            minimal.append(product)
+        return frozenset(minimal)
+
+    def _collect_products(
+        self, node_id: int, path: List[str], out: Set[FrozenSet[str]]
+    ) -> None:
+        if node_id == BddManager.FALSE_ID:
+            return
+        if node_id == BddManager.TRUE_ID:
+            out.add(frozenset(path))
+            return
+        node = self.manager._node(node_id)
+        name = self.manager.variable_name(node.var)
+        self._collect_products(node.high, path + [name], out)
+        self._collect_products(node.low, path, out)
+
+    def wire_size(self) -> int:
+        """Bytes charged when this BDD is shipped in a message.
+
+        A serialized BDD must carry, besides its node structure, the mapping
+        from variable indices to the identifiers they stand for (base-tuple
+        VIDs, node ids, ...), so the size grows with both the node count and
+        the total length of the variable names in the BDD's support.
+        """
+        structure = 2 + BDD_NODE_BYTES * self.node_count()
+        dictionary = sum(len(name) for name in self.support())
+        return structure + dictionary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_false:
+            return "Bdd(False)"
+        if self.is_true:
+            return "Bdd(True)"
+        return f"Bdd(nodes={self.node_count()})"

@@ -1,0 +1,123 @@
+"""Distributed query-result caching with invalidation (Section 6.1).
+
+Whenever a provenance sub-query completes at a node, the node caches the
+result keyed by the vertex it resolved (a tuple VID or a rule-execution
+RID) and the query customization it was computed under.  Later queries that
+reach the same node and need the same subgraph return the cached result
+without further traversal — the paper's "cache(@N, VID, Results)" table.
+
+Cache entries are invalidated when the underlying tuples change: every entry
+records which *parent* entries (possibly on other nodes) consumed it, and an
+invalidation walks those reverse pointers, sending a small invalidation flag
+between nodes rather than re-shipping provenance (Section 6.1, "Cache
+invalidation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["CacheKey", "CacheEntry", "QueryResultCache"]
+
+#: A cache key: ("v" | "r", spec name, VID or RID).
+CacheKey = Tuple[str, str, str]
+
+
+@dataclass
+class CacheEntry:
+    """A cached sub-query result plus bookkeeping for invalidation."""
+
+    key: CacheKey
+    result: Any
+    cached_at: float
+    hits: int = 0
+
+
+class QueryResultCache:
+    """Per-node cache of provenance query results."""
+
+    def __init__(self, node: Any):
+        self.node = node
+        self._entries: Dict[CacheKey, CacheEntry] = {}
+        # key -> set of (parent node, parent key) that consumed this result
+        self._dependents: Dict[CacheKey, Set[Tuple[Any, CacheKey]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # storage / lookup
+    # ------------------------------------------------------------------ #
+    def put(self, key: CacheKey, result: Any, now: float) -> None:
+        self._entries[key] = CacheEntry(key=key, result=result, cached_at=now)
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        entry.hits += 1
+        self.hits += 1
+        return entry
+
+    def contains(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # dependency tracking
+    # ------------------------------------------------------------------ #
+    def add_dependent(self, key: CacheKey, parent_node: Any, parent_key: CacheKey) -> None:
+        """Record that *parent_key* at *parent_node* was computed from *key*."""
+        self._dependents.setdefault(key, set()).add((parent_node, parent_key))
+
+    def dependents_of(self, key: CacheKey) -> FrozenSet[Tuple[Any, CacheKey]]:
+        return frozenset(self._dependents.get(key, ()))
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate(self, key: CacheKey) -> FrozenSet[Tuple[Any, CacheKey]]:
+        """Drop *key* locally and return the dependents that must be notified.
+
+        The caller (the query service) forwards an invalidation message to
+        each remote dependent and recurses locally for local dependents.
+        """
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+        dependents = self._dependents.pop(key, set())
+        return frozenset(dependents)
+
+    def invalidate_vertex(self, kind: str, identifier: str) -> FrozenSet[Tuple[Any, CacheKey]]:
+        """Invalidate every cached result for the vertex across all specs."""
+        to_notify: Set[Tuple[Any, CacheKey]] = set()
+        matching = [
+            key for key in list(self._entries) if key[0] == kind and key[2] == identifier
+        ]
+        matching.extend(
+            key
+            for key in list(self._dependents)
+            if key[0] == kind and key[2] == identifier and key not in matching
+        )
+        for key in matching:
+            to_notify.update(self.invalidate(key))
+        return frozenset(to_notify)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._dependents.clear()
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,241 @@
+"""An explicit, in-memory view of the (distributed) provenance graph.
+
+The provenance data model of Section 4.1 is an acyclic graph whose vertices
+are *tuple vertices* (VIDs) and *rule execution vertices* (RIDs), with edges
+from input tuples to rule executions and from rule executions to the derived
+tuple.  At runtime the graph only ever exists as rows of the distributed
+``prov`` / ``ruleExec`` tables; this module materializes it as a Python
+object for analysis, testing, visualization (Figure 5 style ``.dot``
+output), and for the centralized-provenance baseline where a collector node
+holds the whole graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Fact
+from .storage import ProvEntry, ProvenanceStore, RuleExecEntry
+from .vid import fact_vid
+
+__all__ = ["TupleVertex", "RuleVertex", "ProvenanceGraph", "build_global_graph"]
+
+
+@dataclass
+class TupleVertex:
+    """A tuple vertex: the tuple's VID, its location, and (if known) the fact."""
+
+    vid: str
+    location: Any
+    fact: Optional[Fact] = None
+    derivations: List[str] = field(default_factory=list)  # RIDs deriving this tuple
+    is_base: bool = False
+
+    def label(self) -> str:
+        if self.fact is not None:
+            values = ",".join(str(value) for value in self.fact.values)
+            return f"{self.fact.name}({values})"
+        return self.vid[:10]
+
+
+@dataclass
+class RuleVertex:
+    """A rule execution vertex: RID, rule label, location, input tuple VIDs."""
+
+    rid: str
+    rule_label: str
+    location: Any
+    input_vids: Tuple[str, ...] = ()
+
+    def label(self) -> str:
+        return f"{self.rule_label}@{self.location}"
+
+
+class ProvenanceGraph:
+    """A bipartite DAG of tuple vertices and rule execution vertices."""
+
+    def __init__(self) -> None:
+        self.tuples: Dict[str, TupleVertex] = {}
+        self.rules: Dict[str, RuleVertex] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_prov_entry(self, entry: ProvEntry, fact: Optional[Fact] = None) -> None:
+        vertex = self.tuples.get(entry.vid)
+        if vertex is None:
+            vertex = TupleVertex(vid=entry.vid, location=entry.location, fact=fact)
+            self.tuples[entry.vid] = vertex
+        elif fact is not None and vertex.fact is None:
+            vertex.fact = fact
+        if entry.is_base:
+            vertex.is_base = True
+        elif entry.rid not in vertex.derivations:
+            vertex.derivations.append(entry.rid)
+
+    def add_rule_exec(self, entry: RuleExecEntry) -> None:
+        self.rules[entry.rid] = RuleVertex(
+            rid=entry.rid,
+            rule_label=entry.rule_label,
+            location=entry.rule_location,
+            input_vids=tuple(entry.input_vids),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def tuple_vertex(self, vid: str) -> Optional[TupleVertex]:
+        return self.tuples.get(vid)
+
+    def rule_vertex(self, rid: str) -> Optional[RuleVertex]:
+        return self.rules.get(rid)
+
+    def derivations_of(self, vid: str) -> List[RuleVertex]:
+        vertex = self.tuples.get(vid)
+        if vertex is None:
+            return []
+        return [self.rules[rid] for rid in vertex.derivations if rid in self.rules]
+
+    def base_vids(self) -> FrozenSet[str]:
+        return frozenset(vid for vid, vertex in self.tuples.items() if vertex.is_base)
+
+    def reachable_base_tuples(self, vid: str) -> FrozenSet[str]:
+        """VIDs of all base tuples reachable from *vid* through its derivations."""
+        seen: Set[str] = set()
+        bases: Set[str] = set()
+        queue = deque([vid])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            vertex = self.tuples.get(current)
+            if vertex is None:
+                continue
+            if vertex.is_base:
+                bases.add(current)
+            for rid in vertex.derivations:
+                rule = self.rules.get(rid)
+                if rule is None:
+                    continue
+                queue.extend(rule.input_vids)
+        return frozenset(bases)
+
+    def nodes_involved(self, vid: str) -> FrozenSet[Any]:
+        """All node locations participating in any derivation of *vid*."""
+        seen: Set[str] = set()
+        nodes: Set[Any] = set()
+        queue = deque([vid])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            vertex = self.tuples.get(current)
+            if vertex is None:
+                continue
+            nodes.add(vertex.location)
+            for rid in vertex.derivations:
+                rule = self.rules.get(rid)
+                if rule is None:
+                    continue
+                nodes.add(rule.location)
+                queue.extend(rule.input_vids)
+        return frozenset(nodes)
+
+    def is_acyclic(self) -> bool:
+        """Verify the data-model invariant that the graph has no cycles."""
+        colors: Dict[str, int] = {}
+
+        def visit(vid: str) -> bool:
+            state = colors.get(vid, 0)
+            if state == 1:
+                return False
+            if state == 2:
+                return True
+            colors[vid] = 1
+            vertex = self.tuples.get(vid)
+            if vertex is not None:
+                for rid in vertex.derivations:
+                    rule = self.rules.get(rid)
+                    if rule is None:
+                        continue
+                    for child in rule.input_vids:
+                        if not visit(child):
+                            return False
+            colors[vid] = 2
+            return True
+
+        return all(visit(vid) for vid in list(self.tuples))
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_dot(self, root: Optional[str] = None) -> str:
+        """Render the graph (or the subgraph under *root*) in Graphviz dot."""
+        if root is not None:
+            keep_tuples, keep_rules = self._subgraph(root)
+        else:
+            keep_tuples, keep_rules = set(self.tuples), set(self.rules)
+        lines = ["digraph provenance {", "  rankdir=BT;"]
+        for vid in sorted(keep_tuples):
+            vertex = self.tuples[vid]
+            shape = "box"
+            lines.append(
+                f'  "{vid[:10]}" [shape={shape}, label="{vertex.label()}"];'
+            )
+        for rid in sorted(keep_rules):
+            rule = self.rules[rid]
+            lines.append(f'  "{rid[:10]}" [shape=ellipse, label="{rule.label()}"];')
+        for vid in sorted(keep_tuples):
+            vertex = self.tuples[vid]
+            for rid in vertex.derivations:
+                if rid in keep_rules:
+                    lines.append(f'  "{rid[:10]}" -> "{vid[:10]}";')
+        for rid in sorted(keep_rules):
+            rule = self.rules[rid]
+            for child in rule.input_vids:
+                if child in keep_tuples:
+                    lines.append(f'  "{child[:10]}" -> "{rid[:10]}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def _subgraph(self, root: str) -> Tuple[Set[str], Set[str]]:
+        keep_tuples: Set[str] = set()
+        keep_rules: Set[str] = set()
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            if current in keep_tuples:
+                continue
+            vertex = self.tuples.get(current)
+            if vertex is None:
+                continue
+            keep_tuples.add(current)
+            for rid in vertex.derivations:
+                rule = self.rules.get(rid)
+                if rule is None:
+                    continue
+                keep_rules.add(rid)
+                queue.extend(rule.input_vids)
+        return keep_tuples, keep_rules
+
+    def __len__(self) -> int:
+        return len(self.tuples) + len(self.rules)
+
+
+def build_global_graph(stores: Iterable[ProvenanceStore]) -> ProvenanceGraph:
+    """Assemble the global provenance graph from every node's local tables.
+
+    This is an offline analysis helper (and the centralized baseline's view);
+    the distributed query engine never needs the global graph.
+    """
+    graph = ProvenanceGraph()
+    for store in stores:
+        for entry in store.all_prov_entries():
+            graph.add_prov_entry(entry, fact=store.fact_for_vid(entry.vid))
+        for rule_entry in store.all_rule_exec_entries():
+            graph.add_rule_exec(rule_entry)
+    return graph

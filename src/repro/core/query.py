@@ -1,0 +1,525 @@
+"""Distributed querying of reference-based provenance (Section 5).
+
+The provenance of a tuple is reconstructed by recursively traversing the
+distributed ``prov`` / ``ruleExec`` tables: the node storing the tuple looks
+up its derivations in ``prov``, asks each rule's location for the rule
+execution metadata (``ruleExec``), which in turn resolves the provenance of
+the rule's input tuples, until base tuples are reached.  Results flow back
+along the reverse path.
+
+The paper expresses this traversal as ten NDlog rules (``edb1``, ``idb1`` –
+``idb4``, ``rv1`` – ``rv4``) customized by three user-defined functions —
+``f_pEDB``, ``f_pIDB`` and ``f_pRULE``.  This module implements the same
+protocol as an explicit distributed service (one
+:class:`ProvenanceQueryService` per node exchanging messages over the
+simulated network), parameterized by a :class:`QuerySpec` holding the three
+UDFs plus the traversal order, threshold, projection filters and caching
+policy of Section 6.  Implementing the traversal natively rather than as
+NDlog rules keeps the continuation bookkeeping explicit while preserving the
+message pattern (and therefore the bandwidth / latency behaviour) of the
+paper's rules.
+
+Message kinds exchanged (all under the ``"prov"`` message kind, so query
+traffic can be separated from protocol maintenance traffic in the traffic
+statistics):
+
+* ``provQuery`` / ``provResult`` — resolve a tuple vertex (rule ``idb2`` /
+  ``idb4``);
+* ``ruleQuery`` / ``ruleResult`` — resolve a rule execution vertex (rules
+  ``rv1`` – ``rv4``);
+* ``invalidate`` — cache invalidation flag (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.ast import Fact
+from ..net.host import Host
+from ..net.message import Message
+from .cache import CacheKey, QueryResultCache
+from .errors import QueryError
+from .storage import ProvenanceStore
+from .vid import fact_vid
+
+__all__ = [
+    "TraversalOrder",
+    "QuerySpec",
+    "QueryOutcome",
+    "ProvenanceQueryService",
+    "PROV_MESSAGE_KIND",
+]
+
+PROV_MESSAGE_KIND = "prov"
+
+#: Default bound on recursion depth, guarding against (disallowed) cyclic
+#: provenance and runaway traversals.
+DEFAULT_MAX_DEPTH = 64
+
+
+class TraversalOrder(Enum):
+    """Order in which alternative derivations of a tuple are explored."""
+
+    BFS = "bfs"
+    DFS = "dfs"
+    DFS_THRESHOLD = "dfs-threshold"
+    RANDOM_MOONWALK = "random-moonwalk"
+
+
+@dataclass
+class QuerySpec:
+    """A provenance query customization.
+
+    The three user-defined functions mirror Section 5.2:
+
+    * ``f_edb(vid, fact, node)`` — annotation of a base tuple;
+    * ``f_idb(results, vid, node)`` — combine the annotations of a tuple's
+      alternative derivations (the ``+`` of the semiring);
+    * ``f_rule(results, rule_label, node)`` — combine the annotations of a
+      rule execution's inputs (the ``·`` of the semiring).
+    """
+
+    name: str
+    f_edb: Callable[[str, Optional[Fact], Any], Any]
+    f_idb: Callable[[Sequence[Any], str, Any], Any]
+    f_rule: Callable[[Sequence[Any], str, Any], Any]
+    missing: Callable[[], Any] = lambda: None
+    traversal: TraversalOrder = TraversalOrder.BFS
+    threshold_met: Optional[Callable[[Any], bool]] = None
+    moonwalk_width: int = 1
+    node_filter: Optional[Callable[[Any], bool]] = None
+    rule_filter: Optional[Callable[[str, Any], bool]] = None
+    use_cache: bool = False
+    max_depth: int = DEFAULT_MAX_DEPTH
+    moonwalk_seed: int = 0
+
+    def allow_node(self, node: Any) -> bool:
+        return self.node_filter is None or bool(self.node_filter(node))
+
+    def allow_rule(self, rule_label: str, node: Any) -> bool:
+        return self.rule_filter is None or bool(self.rule_filter(rule_label, node))
+
+
+@dataclass
+class QueryOutcome:
+    """The completed result of one root provenance query."""
+
+    query_id: str
+    vid: str
+    result: Any
+    issued_at: float
+    completed_at: float
+    issuer: Any
+    target: Any
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class _PendingAggregation:
+    """Bookkeeping for an in-progress combination of child results."""
+
+    expected: int
+    results: List[Any] = field(default_factory=list)
+
+
+class ProvenanceQueryService:
+    """The provenance query protocol endpoint running at one node."""
+
+    def __init__(
+        self,
+        host: Host,
+        store: ProvenanceStore,
+        clock: Callable[[], float],
+    ):
+        self.host = host
+        self.store = store
+        self.node = host.address
+        self.clock = clock
+        self.cache = QueryResultCache(self.node)
+        self._specs: Dict[str, QuerySpec] = {}
+        self._continuations: Dict[str, Callable[[Any], None]] = {}
+        self._sequence = 0
+        self._rng = random.Random(f"moonwalk-{self.node}")
+        self.queries_started = 0
+        self.queries_completed = 0
+        host.register_handler(PROV_MESSAGE_KIND, self._on_message)
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def register_spec(self, spec: QuerySpec) -> None:
+        """Install a query customization (done on every node ahead of time)."""
+        self._specs[spec.name] = spec
+
+    def spec(self, name: str) -> QuerySpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise QueryError(
+                f"node {self.node!r} has no registered query spec {name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # public query API
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        vid: str,
+        target_node: Any,
+        spec_name: str,
+        on_complete: Callable[[QueryOutcome], None],
+    ) -> str:
+        """Issue a root query for *vid* stored at *target_node*.
+
+        ``on_complete`` is invoked (at this node) once the provenance result
+        has been computed and shipped back.
+        """
+        spec = self.spec(spec_name)
+        query_id = self._fresh_id()
+        issued_at = self.clock()
+        self.queries_started += 1
+
+        def finish(result: Any) -> None:
+            self.queries_completed += 1
+            on_complete(
+                QueryOutcome(
+                    query_id=query_id,
+                    vid=vid,
+                    result=result,
+                    issued_at=issued_at,
+                    completed_at=self.clock(),
+                    issuer=self.node,
+                    target=target_node,
+                )
+            )
+
+        if target_node == self.node:
+            self._resolve_vid(vid, spec, finish, parent=None, depth=spec.max_depth)
+        else:
+            self._continuations[query_id] = finish
+            self.host.send(
+                target_node,
+                PROV_MESSAGE_KIND,
+                {
+                    "type": "provQuery",
+                    "qid": query_id,
+                    "vid": vid,
+                    "spec": spec_name,
+                    "ret": self.node,
+                    "parent": None,
+                    "depth": spec.max_depth,
+                },
+            )
+        return query_id
+
+    def query_fact(
+        self,
+        fact: Fact,
+        target_node: Any,
+        spec_name: str,
+        on_complete: Callable[[QueryOutcome], None],
+    ) -> str:
+        """Convenience wrapper computing the VID of *fact* first."""
+        return self.query(fact_vid(fact), target_node, spec_name, on_complete)
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        kind = payload.get("type")
+        if kind == "provQuery":
+            self._handle_prov_query(payload)
+        elif kind == "ruleQuery":
+            self._handle_rule_query(payload)
+        elif kind in ("provResult", "ruleResult"):
+            continuation = self._continuations.pop(payload["qid"], None)
+            if continuation is not None:
+                continuation(payload["result"])
+        elif kind == "invalidate":
+            self._invalidate_key(tuple(payload["key"]))
+        else:  # pragma: no cover - defensive
+            raise QueryError(f"unknown provenance message type {kind!r}")
+
+    def _handle_prov_query(self, payload: Dict[str, Any]) -> None:
+        spec = self.spec(payload["spec"])
+        parent = payload.get("parent")
+        if parent is not None:
+            parent = (parent[0], tuple(parent[1]))
+
+        def reply(result: Any) -> None:
+            self.host.send(
+                payload["ret"],
+                PROV_MESSAGE_KIND,
+                {
+                    "type": "provResult",
+                    "qid": payload["qid"],
+                    "vid": payload["vid"],
+                    "result": result,
+                },
+            )
+
+        self._resolve_vid(
+            payload["vid"], spec, reply, parent=parent, depth=payload.get("depth", spec.max_depth)
+        )
+
+    def _handle_rule_query(self, payload: Dict[str, Any]) -> None:
+        spec = self.spec(payload["spec"])
+        parent = payload.get("parent")
+        if parent is not None:
+            parent = (parent[0], tuple(parent[1]))
+
+        def reply(result: Any) -> None:
+            self.host.send(
+                payload["ret"],
+                PROV_MESSAGE_KIND,
+                {
+                    "type": "ruleResult",
+                    "qid": payload["qid"],
+                    "rid": payload["rid"],
+                    "result": result,
+                },
+            )
+
+        self._resolve_rid(
+            payload["rid"], spec, reply, parent=parent, depth=payload.get("depth", spec.max_depth)
+        )
+
+    # ------------------------------------------------------------------ #
+    # tuple-vertex resolution (rules edb1, idb1-idb4 of the paper)
+    # ------------------------------------------------------------------ #
+    def _resolve_vid(
+        self,
+        vid: str,
+        spec: QuerySpec,
+        on_done: Callable[[Any], None],
+        parent: Optional[Tuple[Any, CacheKey]],
+        depth: int,
+    ) -> None:
+        key: CacheKey = ("v", spec.name, vid)
+        if spec.use_cache and parent is not None:
+            self.cache.add_dependent(key, parent[0], parent[1])
+        if spec.use_cache:
+            entry = self.cache.get(key)
+            if entry is not None:
+                on_done(entry.result)
+                return
+        if depth <= 0:
+            on_done(spec.missing())
+            return
+
+        entries = self.store.prov_entries(vid)
+        if not entries:
+            on_done(spec.missing())
+            return
+
+        fact = self.store.fact_for_vid(vid)
+        initial_results: List[Any] = []
+        if any(entry.is_base for entry in entries):
+            initial_results.append(spec.f_edb(vid, fact, self.node))
+        derivations = [
+            entry
+            for entry in entries
+            if not entry.is_base and spec.allow_node(entry.rule_location)
+        ]
+
+        def finish(results: List[Any]) -> None:
+            result = spec.f_idb(list(results), vid, self.node)
+            if spec.use_cache:
+                self.cache.put(key, result, self.clock())
+            on_done(result)
+
+        if not derivations:
+            finish(initial_results)
+            return
+
+        if spec.traversal is TraversalOrder.RANDOM_MOONWALK:
+            width = max(1, min(spec.moonwalk_width, len(derivations)))
+            derivations = self._rng.sample(derivations, width)
+
+        if spec.traversal in (TraversalOrder.BFS, TraversalOrder.RANDOM_MOONWALK):
+            self._resolve_derivations_parallel(
+                vid, key, spec, derivations, initial_results, finish, depth
+            )
+        else:
+            self._resolve_derivations_sequential(
+                vid, key, spec, derivations, initial_results, finish, depth
+            )
+
+    def _resolve_derivations_parallel(
+        self,
+        vid: str,
+        key: CacheKey,
+        spec: QuerySpec,
+        derivations: Sequence[Any],
+        initial_results: List[Any],
+        finish: Callable[[List[Any]], None],
+        depth: int,
+    ) -> None:
+        pending = _PendingAggregation(expected=len(derivations), results=list(initial_results))
+
+        def on_child(result: Any) -> None:
+            pending.results.append(result)
+            pending.expected -= 1
+            if pending.expected == 0:
+                finish(pending.results)
+
+        for entry in derivations:
+            self._ask_rule_vertex(entry.rid, entry.rule_location, spec, key, on_child, depth)
+
+    def _resolve_derivations_sequential(
+        self,
+        vid: str,
+        key: CacheKey,
+        spec: QuerySpec,
+        derivations: Sequence[Any],
+        initial_results: List[Any],
+        finish: Callable[[List[Any]], None],
+        depth: int,
+    ) -> None:
+        results: List[Any] = list(initial_results)
+        remaining = list(derivations)
+
+        def threshold_reached() -> bool:
+            if spec.traversal is not TraversalOrder.DFS_THRESHOLD:
+                return False
+            if spec.threshold_met is None or not results:
+                return False
+            partial = spec.f_idb(list(results), vid, self.node)
+            return bool(spec.threshold_met(partial))
+
+        def advance() -> None:
+            if not remaining or threshold_reached():
+                finish(results)
+                return
+            entry = remaining.pop(0)
+
+            def on_child(result: Any) -> None:
+                results.append(result)
+                advance()
+
+            self._ask_rule_vertex(
+                entry.rid, entry.rule_location, spec, key, on_child, depth
+            )
+
+        advance()
+
+    def _ask_rule_vertex(
+        self,
+        rid: str,
+        rule_location: Any,
+        spec: QuerySpec,
+        parent_key: CacheKey,
+        on_result: Callable[[Any], None],
+        depth: int,
+    ) -> None:
+        """Resolve a rule-execution vertex, locally or via a remote query."""
+        if rule_location == self.node:
+            self._resolve_rid(
+                rid, spec, on_result, parent=(self.node, parent_key), depth=depth - 1
+            )
+            return
+        query_id = self._fresh_id()
+        self._continuations[query_id] = on_result
+        self.host.send(
+            rule_location,
+            PROV_MESSAGE_KIND,
+            {
+                "type": "ruleQuery",
+                "qid": query_id,
+                "rid": rid,
+                "spec": spec.name,
+                "ret": self.node,
+                "parent": (self.node, list(parent_key)),
+                "depth": depth - 1,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # rule-execution-vertex resolution (rules rv1-rv4 of the paper)
+    # ------------------------------------------------------------------ #
+    def _resolve_rid(
+        self,
+        rid: str,
+        spec: QuerySpec,
+        on_done: Callable[[Any], None],
+        parent: Optional[Tuple[Any, CacheKey]],
+        depth: int,
+    ) -> None:
+        key: CacheKey = ("r", spec.name, rid)
+        if spec.use_cache and parent is not None:
+            self.cache.add_dependent(key, parent[0], parent[1])
+        if spec.use_cache:
+            entry = self.cache.get(key)
+            if entry is not None:
+                on_done(entry.result)
+                return
+        if depth <= 0:
+            on_done(spec.missing())
+            return
+
+        rule_entry = self.store.rule_exec(rid)
+        if rule_entry is None or not spec.allow_rule(rule_entry.rule_label, self.node):
+            on_done(spec.missing())
+            return
+
+        children = list(rule_entry.input_vids)
+
+        def finish(results: List[Any]) -> None:
+            result = spec.f_rule(list(results), rule_entry.rule_label, self.node)
+            if spec.use_cache:
+                self.cache.put(key, result, self.clock())
+            on_done(result)
+
+        if not children:
+            finish([])
+            return
+
+        pending = _PendingAggregation(expected=len(children))
+
+        def on_child(result: Any) -> None:
+            pending.results.append(result)
+            pending.expected -= 1
+            if pending.expected == 0:
+                finish(pending.results)
+
+        for child_vid in children:
+            # The rule executed here, so its input tuples are stored here.
+            self._resolve_vid(
+                child_vid, spec, on_child, parent=(self.node, key), depth=depth - 1
+            )
+
+    # ------------------------------------------------------------------ #
+    # cache invalidation (Section 6.1)
+    # ------------------------------------------------------------------ #
+    def on_tuple_update(self, fact: Fact) -> None:
+        """Called by the runtime whenever a local materialized tuple changes."""
+        vid = fact_vid(fact)
+        self._notify_dependents(self.cache.invalidate_vertex("v", vid))
+
+    def _invalidate_key(self, key: CacheKey) -> None:
+        self._notify_dependents(self.cache.invalidate(key))
+
+    def _notify_dependents(self, dependents) -> None:
+        for node, parent_key in dependents:
+            if node == self.node:
+                self._invalidate_key(parent_key)
+            else:
+                self.host.send(
+                    node,
+                    PROV_MESSAGE_KIND,
+                    {"type": "invalidate", "key": list(parent_key)},
+                )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _fresh_id(self) -> str:
+        self._sequence += 1
+        return f"{self.node}#{self._sequence}"

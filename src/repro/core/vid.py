@@ -1,0 +1,81 @@
+"""Vertex identifiers for the provenance graph (Section 4.1).
+
+Every vertex in the distributed provenance graph has a unique identifier
+computed with a cryptographic hash so that any node can derive it locally
+without coordination:
+
+* a *tuple vertex* is identified by a **VID**: the SHA-1 of the tuple's
+  relation name, location specifier and attribute values —
+  ``VID = SHA1("pathCost" + X + Y + C)`` in the paper's notation;
+* a *rule execution vertex* is identified by an **RID**: the SHA-1 of the
+  rule label, the location where the rule executed, and the VIDs of its
+  input tuples — ``RID = SHA1("sp2" + b + VID2 + VID6)``.
+
+The same formulas are evaluated in two places: inside rewritten NDlog rules
+(through the ``f_sha1`` builtin) and by Python code in the query layer and
+the tests.  Keeping the string rendering identical in both paths is what
+makes the reference pointers resolvable, so both call into this module's
+:func:`render_value`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..datalog.ast import Fact
+from ..datalog.functions import sha1_hex
+
+__all__ = [
+    "render_value",
+    "tuple_preimage",
+    "tuple_vid",
+    "fact_vid",
+    "rule_preimage",
+    "rule_rid",
+    "NULL_RID",
+]
+
+#: RID value used for base tuples (the paper stores ``null``).
+NULL_RID = None
+
+
+def render_value(value: Any) -> str:
+    """Render one attribute value exactly as ``f_sha1`` concatenation does."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if value is None:
+        return ""
+    if isinstance(value, (list, tuple)):
+        return "".join(render_value(item) for item in value)
+    return str(value)
+
+
+def tuple_preimage(name: str, values: Sequence[Any]) -> str:
+    """The SHA-1 preimage of a tuple vertex: name followed by all attributes.
+
+    The location specifier is part of ``values`` (it is an ordinary
+    attribute of the tuple), matching ``SHA1("link" + b + c + 2)``.
+    """
+    return name + "".join(render_value(value) for value in values)
+
+
+def tuple_vid(name: str, values: Sequence[Any]) -> str:
+    """Compute the VID of the tuple ``name(values...)``."""
+    return sha1_hex(tuple_preimage(name, values))
+
+
+def fact_vid(fact: Fact) -> str:
+    """Compute the VID of a :class:`~repro.datalog.ast.Fact`."""
+    return tuple_vid(fact.name, fact.values)
+
+
+def rule_preimage(rule_label: str, location: Any, input_vids: Iterable[str]) -> str:
+    """The SHA-1 preimage of a rule execution vertex."""
+    return rule_label + render_value(location) + "".join(input_vids)
+
+
+def rule_rid(rule_label: str, location: Any, input_vids: Iterable[str]) -> str:
+    """Compute the RID of executing *rule_label* at *location* on *input_vids*."""
+    return sha1_hex(rule_preimage(rule_label, location, list(input_vids)))

@@ -1,0 +1,87 @@
+"""NDlog: the declarative networking substrate used by ExSPAN.
+
+The package provides the language front end (:mod:`repro.datalog.parser`,
+:mod:`repro.datalog.ast`), builtin functions and aggregates, per-node storage
+(:mod:`repro.datalog.catalog`), and the pipelined semi-naive evaluation
+engine (:mod:`repro.datalog.engine`).
+"""
+
+from .aggregates import AggregateState
+from .ast import (
+    Assignment,
+    Atom,
+    Condition,
+    Fact,
+    Program,
+    Rule,
+    TableDecl,
+    is_event_predicate,
+)
+from .catalog import Catalog, Table
+from .engine import DELETE, INSERT, AnnotationPolicy, Delta, NDlogEngine, RuleFiring
+from .errors import (
+    DatalogError,
+    EvaluationError,
+    ParseError,
+    SchemaError,
+    UnknownFunctionError,
+    UnknownRelationError,
+    ValidationError,
+)
+from .functions import FunctionRegistry, default_registry, sha1_hex
+from .localize import check_localized, is_localized, remote_head_rules
+from .parser import parse_program, parse_rule, parse_term
+from .runtime import StandaloneNetwork
+from .terms import (
+    AggregateSpec,
+    BinaryOp,
+    Constant,
+    FunctionCall,
+    Term,
+    UnaryOp,
+    Variable,
+)
+
+__all__ = [
+    "AggregateState",
+    "Assignment",
+    "Atom",
+    "Condition",
+    "Fact",
+    "Program",
+    "Rule",
+    "TableDecl",
+    "is_event_predicate",
+    "Catalog",
+    "Table",
+    "DELETE",
+    "INSERT",
+    "AnnotationPolicy",
+    "Delta",
+    "NDlogEngine",
+    "RuleFiring",
+    "DatalogError",
+    "EvaluationError",
+    "ParseError",
+    "SchemaError",
+    "UnknownFunctionError",
+    "UnknownRelationError",
+    "ValidationError",
+    "FunctionRegistry",
+    "default_registry",
+    "sha1_hex",
+    "check_localized",
+    "is_localized",
+    "remote_head_rules",
+    "parse_program",
+    "parse_rule",
+    "parse_term",
+    "StandaloneNetwork",
+    "AggregateSpec",
+    "BinaryOp",
+    "Constant",
+    "FunctionCall",
+    "Term",
+    "UnaryOp",
+    "Variable",
+]

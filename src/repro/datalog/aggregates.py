@@ -1,0 +1,130 @@
+"""Incremental aggregate maintenance for NDlog aggregate rules.
+
+An aggregate rule such as ``sp3 bestPathCost(@S,D,min<C>) :- pathCost(@S,D,C).``
+groups its input relation on the non-aggregate head attributes (here
+``S, D``) and maintains one output tuple per group whose aggregate position
+holds ``min(C)`` over the group's members.
+
+The paper restricts the provenance rewrite to MIN and MAX (Section 4.2.2);
+the runtime nonetheless supports COUNT, SUM and AGGLIST because the
+provenance *query* programs in Section 5 rely on ``COUNT<*>`` and
+``AGGLIST<RID, RLoc>``.
+
+Each :class:`AggregateState` instance tracks one group and supports
+incremental insertion and deletion of contributing values, reporting the new
+aggregate value after every change so the engine can emit the corresponding
+delete+insert pair for the derived tuple.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .errors import EvaluationError
+
+__all__ = ["AggregateState", "create_aggregate_state", "SUPPORTED_AGGREGATES"]
+
+SUPPORTED_AGGREGATES = ("min", "max", "count", "sum", "agglist")
+
+
+class AggregateState:
+    """Incrementally maintained aggregate over a multiset of values."""
+
+    def __init__(self, func: str):
+        if func not in SUPPORTED_AGGREGATES:
+            raise EvaluationError(f"unsupported aggregate function {func!r}")
+        self.func = func
+        self._values: Counter = Counter()
+        self._count = 0
+        self._sum: Any = 0
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, value: Any) -> None:
+        """Record one occurrence of *value* in the group."""
+        key = self._normalize(value)
+        self._values[key] += 1
+        self._count += 1
+        if self.func == "sum":
+            self._sum += value
+
+    def delete(self, value: Any) -> None:
+        """Remove one occurrence of *value*; ignores values never inserted."""
+        key = self._normalize(value)
+        if self._values[key] <= 0:
+            return
+        self._values[key] -= 1
+        if self._values[key] == 0:
+            del self._values[key]
+        self._count -= 1
+        if self.func == "sum":
+            self._sum -= value
+
+    @staticmethod
+    def _normalize(value: Any) -> Hashable:
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def current(self) -> Any:
+        """Return the aggregate's current value.
+
+        Raises :class:`EvaluationError` when the group is empty and the
+        aggregate has no natural identity (MIN / MAX / AGGLIST); the engine
+        deletes the derived tuple instead of calling this.
+        """
+        if self.func == "count":
+            return self._count
+        if self.func == "sum":
+            return self._sum
+        if self.is_empty:
+            raise EvaluationError(f"aggregate {self.func} over an empty group")
+        if self.func == "min":
+            return min(self._values)
+        if self.func == "max":
+            return max(self._values)
+        if self.func == "agglist":
+            items: List[Any] = []
+            for value, multiplicity in self._values.items():
+                entry = list(value) if isinstance(value, tuple) else value
+                items.extend([entry] * multiplicity)
+            return items
+        raise EvaluationError(f"unsupported aggregate function {self.func!r}")
+
+    def contributing_values(self) -> List[Any]:
+        """All values currently in the group (with multiplicity)."""
+        values: List[Any] = []
+        for value, multiplicity in self._values.items():
+            values.extend([value] * multiplicity)
+        return values
+
+    def argmin_like_value(self) -> Optional[Any]:
+        """For MIN / MAX, the value that currently determines the aggregate.
+
+        The provenance rewrite uses this to attribute the derived tuple's
+        provenance to the winning input tuple only (Section 4.2.2).
+        Returns ``None`` for other aggregate kinds or empty groups.
+        """
+        if self.is_empty or self.func not in ("min", "max"):
+            return None
+        return min(self._values) if self.func == "min" else max(self._values)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AggregateState({self.func}, n={self._count})"
+
+
+def create_aggregate_state(func: str) -> AggregateState:
+    """Factory for :class:`AggregateState` (kept for symmetry with tests)."""
+    return AggregateState(func)

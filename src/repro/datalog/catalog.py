@@ -1,0 +1,261 @@
+"""Relation storage for a single NDlog node.
+
+Each node in the network owns a :class:`Catalog` of :class:`Table` objects.
+A table stores only the tuples whose location specifier equals the owning
+node's address — this is the horizontal partitioning described throughout
+the ExSPAN paper (e.g. the ``prov`` relation is "distributed across nodes,
+partitioned based on the location specifier Loc").
+
+Tables implement *derivation counting*: inserting an already-present fact
+increments its count instead of duplicating it, and deleting decrements the
+count, only removing the fact when the count reaches zero.  This is the
+standard bookkeeping used by the pipelined semi-naive (PSN) evaluation to
+handle tuples with multiple derivations.
+
+Tables optionally declare primary-key positions.  When a new fact shares the
+primary key of an existing fact with different non-key attributes, the old
+fact is *replaced* (an update), which mirrors RapidNet's ``materialize``
+semantics and is relied upon by routing tables such as ``bestHop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .ast import Fact, TableDecl
+from .errors import SchemaError
+
+__all__ = ["Table", "Catalog", "InsertOutcome", "DeleteOutcome"]
+
+
+@dataclass(frozen=True)
+class InsertOutcome:
+    """Result of a table insert.
+
+    ``became_visible`` is True when the fact was not previously present
+    (count went 0 -> 1) and therefore must be propagated to dependent rules.
+    ``replaced`` holds a fact evicted by primary-key update semantics, which
+    the engine must propagate as a deletion.
+    """
+
+    became_visible: bool
+    replaced: Optional[Fact] = None
+
+
+@dataclass(frozen=True)
+class DeleteOutcome:
+    """Result of a table delete.
+
+    ``became_invisible`` is True when the count reached zero and the fact was
+    actually removed, requiring downstream deletion propagation.
+    """
+
+    became_invisible: bool
+    was_present: bool
+
+
+class Table:
+    """A horizontally-partitioned relation fragment stored at one node."""
+
+    def __init__(
+        self,
+        name: str,
+        arity: Optional[int] = None,
+        key_positions: Sequence[int] = (),
+        location_index: int = 0,
+    ):
+        self.name = name
+        self.arity = arity
+        self.key_positions: Tuple[int, ...] = tuple(key_positions)
+        self.location_index = location_index
+        # full tuple -> derivation count
+        self._rows: Dict[Tuple[Any, ...], int] = {}
+        # primary key -> full tuple (only when key_positions declared)
+        self._by_key: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+        # (positions) -> {values -> set of full tuples}; built lazily
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], set]] = {}
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _check_arity(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        row = tuple(_freeze(v) for v in values)
+        if self.arity is None:
+            self.arity = len(row)
+        elif len(row) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} expects arity {self.arity}, "
+                f"got {len(row)}"
+            )
+        return row
+
+    def _key_of(self, row: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
+        if not self.key_positions:
+            return None
+        return tuple(row[i] for i in self.key_positions)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Sequence[Any]) -> InsertOutcome:
+        """Insert one derivation of *values*; see :class:`InsertOutcome`."""
+        row = self._check_arity(values)
+        replaced: Optional[Fact] = None
+        key = self._key_of(row)
+        if key is not None:
+            existing = self._by_key.get(key)
+            if existing is not None and existing != row:
+                # primary-key update: evict the old row entirely
+                self._remove_row(existing)
+                replaced = Fact(self.name, existing, self.location_index)
+            self._by_key[key] = row
+        count = self._rows.get(row, 0)
+        self._rows[row] = count + 1
+        if count == 0:
+            self._index_add(row)
+        return InsertOutcome(became_visible=(count == 0), replaced=replaced)
+
+    def delete(self, values: Sequence[Any]) -> DeleteOutcome:
+        """Remove one derivation of *values*; see :class:`DeleteOutcome`."""
+        row = self._check_arity(values)
+        count = self._rows.get(row)
+        if count is None:
+            return DeleteOutcome(became_invisible=False, was_present=False)
+        if count <= 1:
+            self._remove_row(row)
+            return DeleteOutcome(became_invisible=True, was_present=True)
+        self._rows[row] = count - 1
+        return DeleteOutcome(became_invisible=False, was_present=True)
+
+    def delete_all(self, values: Sequence[Any]) -> DeleteOutcome:
+        """Remove every derivation of *values* regardless of count."""
+        row = self._check_arity(values)
+        if row not in self._rows:
+            return DeleteOutcome(became_invisible=False, was_present=False)
+        self._remove_row(row)
+        return DeleteOutcome(became_invisible=True, was_present=True)
+
+    def _remove_row(self, row: Tuple[Any, ...]) -> None:
+        self._rows.pop(row, None)
+        key = self._key_of(row)
+        if key is not None and self._by_key.get(key) == row:
+            del self._by_key[key]
+        self._index_remove(row)
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._by_key.clear()
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+    def _index_add(self, row: Tuple[Any, ...]) -> None:
+        for positions, index in self._indexes.items():
+            index.setdefault(tuple(row[i] for i in positions), set()).add(row)
+
+    def _index_remove(self, row: Tuple[Any, ...]) -> None:
+        for positions, index in self._indexes.items():
+            bucket = index.get(tuple(row[i] for i in positions))
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[tuple(row[i] for i in positions)]
+
+    def _ensure_index(self, positions: Tuple[int, ...]) -> Dict[Tuple[Any, ...], set]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index.setdefault(tuple(row[i] for i in positions), set()).add(row)
+            self._indexes[positions] = index
+        return index
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, values: Sequence[Any]) -> bool:
+        return tuple(_freeze(v) for v in values) in self._rows
+
+    def count(self, values: Sequence[Any]) -> int:
+        """Return the derivation count for *values* (0 if absent)."""
+        return self._rows.get(tuple(_freeze(v) for v in values), 0)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over distinct rows (ignoring derivation counts)."""
+        return iter(list(self._rows))
+
+    def facts(self) -> Iterator[Fact]:
+        for row in self.rows():
+            yield Fact(self.name, row, self.location_index)
+
+    def lookup(self, bound: Dict[int, Any]) -> Iterator[Tuple[Any, ...]]:
+        """Yield rows whose attributes match the {position: value} constraints.
+
+        Uses (and lazily builds) a hash index over the constrained positions
+        whenever at least one position is constrained.
+        """
+        if not bound:
+            yield from self.rows()
+            return
+        positions = tuple(sorted(bound))
+        index = self._ensure_index(positions)
+        key = tuple(_freeze(bound[i]) for i in positions)
+        for row in list(index.get(key, ())):
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={len(self._rows)})"
+
+
+def _freeze(value: Any) -> Any:
+    """Convert mutable containers to hashable equivalents for storage."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+class Catalog:
+    """The set of tables owned by a single node."""
+
+    def __init__(self, declarations: Iterable[TableDecl] = ()):
+        self._tables: Dict[str, Table] = {}
+        for decl in declarations:
+            self.declare(decl)
+
+    def declare(self, decl: TableDecl) -> Table:
+        table = Table(decl.name, decl.arity, decl.key_positions)
+        self._tables[decl.name] = table
+        return table
+
+    def table(self, name: str, arity: Optional[int] = None) -> Table:
+        """Return the table for *name*, creating it on first use."""
+        table = self._tables.get(name)
+        if table is None:
+            table = Table(name, arity)
+            self._tables[name] = table
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    def __getitem__(self, name: str) -> Table:
+        return self.table(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,667 @@
+"""Per-node NDlog evaluation engine (pipelined semi-naive evaluation).
+
+Each network node runs one :class:`NDlogEngine`.  The engine owns the node's
+:class:`~repro.datalog.catalog.Catalog` of materialized tables, a FIFO queue
+of pending :class:`Delta` updates, and a compiled form of the NDlog program.
+
+Evaluation follows the pipelined semi-naive (PSN) strategy described in the
+declarative networking literature and summarized in Section 4.2 of the
+ExSPAN paper:
+
+* every insertion or deletion of a tuple is a *delta*;
+* deltas are processed one at a time from a FIFO queue;
+* for a rule ``d :- d1, ..., dn`` and a delta on ``dk``, the engine joins the
+  delta tuple against the materialized fragments of the other body
+  predicates, evaluates assignments and conditions, and produces head deltas;
+* head deltas whose location specifier equals the local address are enqueued
+  locally, everything else is handed to the ``send`` callback (wired to the
+  network substrate by :mod:`repro.net.host`);
+* duplicate derivations are tracked with per-tuple derivation counts so a
+  tuple is only propagated when it first appears and only deleted when its
+  last derivation disappears (cascaded deletions).
+
+The engine exposes two extension points used by the ExSPAN provenance layer:
+
+* an :class:`AnnotationPolicy` for *value-based* provenance, which attaches
+  an annotation to every tuple and combines annotations through joins and
+  unions (the annotation travels with remote deltas and its serialized size
+  is charged to the message);
+* *rule listeners*, callbacks invoked on every successful rule firing, used
+  for centralized provenance collection and for debugging.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .aggregates import AggregateState
+from .ast import (
+    Assignment,
+    Atom,
+    Condition,
+    Fact,
+    Program,
+    Rule,
+    is_event_predicate,
+)
+from .catalog import Catalog, Table
+from .errors import EvaluationError, ValidationError
+from .functions import FunctionRegistry, default_registry
+from .terms import AggregateSpec, Constant, Term, Variable
+
+__all__ = [
+    "Delta",
+    "RuleFiring",
+    "AnnotationPolicy",
+    "NDlogEngine",
+    "INSERT",
+    "DELETE",
+    "REFRESH",
+]
+
+INSERT = "insert"
+DELETE = "delete"
+#: A provenance-annotation update for an already-present tuple.  Only used
+#: in value-based provenance mode: when a tuple gains a new alternative
+#: derivation, its merged annotation must be re-propagated to every tuple
+#: derived from it (the "propagation of provenance updates" the paper cites
+#: as a cost of value-based distribution).
+REFRESH = "refresh"
+
+
+@dataclass
+class Delta:
+    """A single insertion, deletion or annotation refresh of a fact."""
+
+    action: str
+    fact: Fact
+    annotation: Any = None
+
+    def __post_init__(self) -> None:
+        if self.action not in (INSERT, DELETE, REFRESH):
+            raise ValueError(f"invalid delta action {self.action!r}")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.action == INSERT
+
+    @property
+    def is_refresh(self) -> bool:
+        return self.action == REFRESH
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        sign = {"insert": "+", "delete": "-", "refresh": "~"}[self.action]
+        return f"{sign}{self.fact}"
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """Details of one successful rule execution, passed to rule listeners."""
+
+    rule: Rule
+    action: str
+    head_fact: Fact
+    body_facts: Tuple[Fact, ...]
+    binding: Mapping[str, Any]
+    node: Any
+
+
+class AnnotationPolicy:
+    """Strategy object for value-based provenance annotations.
+
+    Subclasses define how annotations are created for base tuples, combined
+    across a rule's body (join / ``·``), merged across alternative
+    derivations (union / ``+``), and how many bytes an annotation contributes
+    to a network message.
+
+    ``propagate_updates`` controls whether a change to an existing tuple's
+    annotation (a new alternative derivation arriving) is re-propagated to
+    the tuples derived from it via REFRESH deltas.  Full propagation models
+    the paper's "propagation of provenance updates" cost of value-based
+    provenance, but its cascades can be expensive on dense provenance graphs
+    (that is the paper's point); it is therefore opt-in.
+    """
+
+    propagate_updates: bool = False
+
+    def base(self, fact: Fact) -> Any:
+        """Annotation of an externally-inserted base tuple."""
+        raise NotImplementedError
+
+    def combine(self, rule: Rule, body_annotations: Sequence[Any], node: Any) -> Any:
+        """Annotation of a tuple derived by *rule* from the given inputs."""
+        raise NotImplementedError
+
+    def merge(self, existing: Any, new: Any) -> Any:
+        """Merge annotations of two alternative derivations of the same tuple."""
+        raise NotImplementedError
+
+    def size(self, annotation: Any) -> int:
+        """Serialized size in bytes charged to messages carrying *annotation*."""
+        raise NotImplementedError
+
+
+@dataclass
+class _CompiledAggregateRule:
+    """Runtime state of an aggregate rule: group -> aggregate + emitted row."""
+
+    rule: Rule
+    aggregate_index: int
+    spec: AggregateSpec
+    groups: Dict[Tuple[Any, ...], AggregateState] = field(default_factory=dict)
+    emitted: Dict[Tuple[Any, ...], Tuple[Any, ...]] = field(default_factory=dict)
+
+
+class NDlogEngine:
+    """The NDlog runtime for a single node."""
+
+    def __init__(
+        self,
+        address: Any,
+        program: Optional[Program] = None,
+        functions: Optional[FunctionRegistry] = None,
+        send: Optional[Callable[[Any, Delta], None]] = None,
+        annotation_policy: Optional[AnnotationPolicy] = None,
+    ):
+        self.address = address
+        self.functions = functions if functions is not None else default_registry()
+        self.catalog = Catalog()
+        self._send = send
+        self.annotation_policy = annotation_policy
+        self._queue: deque[Delta] = deque()
+        self._rules_by_predicate: Dict[str, List[Tuple[Rule, int]]] = defaultdict(list)
+        self._aggregate_rules: Dict[str, _CompiledAggregateRule] = {}
+        self._rule_listeners: List[Callable[[RuleFiring], None]] = []
+        self._update_listeners: List[Callable[[str, Fact], None]] = []
+        self._annotations: Dict[Tuple[str, Tuple[Any, ...]], Any] = {}
+        self.rules: List[Rule] = []
+        self.stats: Dict[str, int] = defaultdict(int)
+        if program is not None:
+            self.load_program(program)
+
+    # ------------------------------------------------------------------ #
+    # program loading
+    # ------------------------------------------------------------------ #
+    def load_program(self, program: Program) -> None:
+        """Compile *program* into the engine (may be called more than once)."""
+        program.validate()
+        for decl in program.declarations:
+            if not self.catalog.has_table(decl.name):
+                self.catalog.declare(decl)
+        for rule in program.rules:
+            self.add_rule(rule)
+        for fact in program.facts:
+            if fact.location == self.address:
+                self.insert(fact)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Register a single rule with the engine."""
+        rule.validate()
+        self.rules.append(rule)
+        aggregate = rule.head.aggregate()
+        if aggregate is not None:
+            index, spec = aggregate
+            self._aggregate_rules[rule.label] = _CompiledAggregateRule(
+                rule=rule, aggregate_index=index, spec=spec
+            )
+        for position, atom in enumerate(rule.body_atoms):
+            self._rules_by_predicate[atom.name].append((rule, position))
+
+    def add_rule_listener(self, listener: Callable[[RuleFiring], None]) -> None:
+        """Register a callback invoked after every successful rule firing."""
+        self._rule_listeners.append(listener)
+
+    def add_update_listener(self, listener: Callable[[str, Fact], None]) -> None:
+        """Register a callback invoked when a materialized tuple appears/disappears.
+
+        The callback receives ``(action, fact)`` where action is ``"insert"``
+        when the tuple first becomes visible and ``"delete"`` when its last
+        derivation is removed.  The ExSPAN query layer uses this hook for
+        cache invalidation (Section 6.1).
+        """
+        self._update_listeners.append(listener)
+
+    def set_send(self, send: Callable[[Any, Delta], None]) -> None:
+        """Set the callback used to ship deltas to remote nodes."""
+        self._send = send
+
+    # ------------------------------------------------------------------ #
+    # external updates
+    # ------------------------------------------------------------------ #
+    def insert(self, fact: Fact, annotation: Any = None) -> None:
+        """Enqueue insertion of a base or derived *fact* at this node."""
+        if annotation is None and self.annotation_policy is not None:
+            annotation = self.annotation_policy.base(fact)
+        self.enqueue(Delta(INSERT, fact, annotation))
+
+    def delete(self, fact: Fact) -> None:
+        """Enqueue deletion of *fact* at this node."""
+        self.enqueue(Delta(DELETE, fact))
+
+    def enqueue(self, delta: Delta) -> None:
+        """Add *delta* to this node's FIFO processing queue."""
+        self._queue.append(delta)
+
+    def receive(self, delta: Delta) -> None:
+        """Entry point for deltas arriving from the network."""
+        self.stats["deltas_received"] += 1
+        self.enqueue(delta)
+
+    @property
+    def pending(self) -> int:
+        """Number of deltas waiting in the local queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # evaluation loop
+    # ------------------------------------------------------------------ #
+    def run(self, max_steps: Optional[int] = None) -> int:
+        """Process queued deltas until the queue drains (local fixpoint).
+
+        Returns the number of deltas processed.  ``max_steps`` bounds the
+        work done in one call, which the simulator uses to interleave nodes.
+        """
+        steps = 0
+        while self._queue:
+            if max_steps is not None and steps >= max_steps:
+                break
+            delta = self._queue.popleft()
+            self._process_delta(delta)
+            steps += 1
+        return steps
+
+    def _process_delta(self, delta: Delta) -> None:
+        self.stats["deltas_processed"] += 1
+        fact = delta.fact
+        if is_event_predicate(fact.name):
+            # Events are transient: they trigger rules but never materialize.
+            # Deletion deltas flow through events too, so that cascaded
+            # deletions reach the prov / ruleExec tables maintained by the
+            # provenance rewrite (Section 4.2.1).
+            self._trigger_rules(delta)
+            return
+        table = self.catalog.table(fact.name, fact.arity)
+        if delta.is_refresh:
+            # Annotation update for a tuple that is (normally) already stored.
+            if self.annotation_policy is None or delta.annotation is None:
+                return
+            if fact.values not in table:
+                # Refresh raced ahead of the insert: fall back to an insert.
+                self.enqueue(Delta(INSERT, fact, delta.annotation))
+                return
+            changed = self._store_annotation(fact, delta.annotation)
+            if changed:
+                self._trigger_rules(
+                    Delta(REFRESH, fact, self._lookup_annotation(fact))
+                )
+            return
+        if delta.is_insert:
+            outcome = table.insert(fact.values)
+            if outcome.replaced is not None:
+                self._clear_annotation(outcome.replaced)
+                self._notify_update(DELETE, outcome.replaced)
+                self._trigger_rules(Delta(DELETE, outcome.replaced))
+            annotation_changed = False
+            if self.annotation_policy is not None and delta.annotation is not None:
+                annotation_changed = self._store_annotation(fact, delta.annotation)
+            if outcome.became_visible:
+                self._notify_update(INSERT, fact)
+                self._trigger_rules(delta)
+            elif annotation_changed and self.annotation_policy.propagate_updates:
+                # Value-based provenance: a new alternative derivation changed
+                # this tuple's annotation, so the update must be propagated to
+                # everything derived from it.
+                self._trigger_rules(
+                    Delta(REFRESH, fact, self._lookup_annotation(fact))
+                )
+        else:
+            outcome = table.delete(fact.values)
+            if outcome.became_invisible:
+                self._clear_annotation(fact)
+                self._notify_update(DELETE, fact)
+                self._trigger_rules(delta)
+
+    def _notify_update(self, action: str, fact: Fact) -> None:
+        for listener in self._update_listeners:
+            listener(action, fact)
+
+    def _trigger_rules(self, delta: Delta) -> None:
+        for rule, position in self._rules_by_predicate.get(delta.fact.name, ()):
+            self._evaluate_delta_rule(rule, position, delta)
+
+    # ------------------------------------------------------------------ #
+    # delta-rule evaluation
+    # ------------------------------------------------------------------ #
+    def _evaluate_delta_rule(self, rule: Rule, position: int, delta: Delta) -> None:
+        body_atoms = rule.body_atoms
+        trigger_atom = body_atoms[position]
+        binding = self._match_atom(trigger_atom, delta.fact.values, {})
+        if binding is None:
+            return
+        partial = [(trigger_atom, delta.fact)]
+        self._join_remaining(rule, body_atoms, position, binding, partial, delta)
+
+    def _join_remaining(
+        self,
+        rule: Rule,
+        body_atoms: Tuple[Atom, ...],
+        trigger_position: int,
+        binding: Dict[str, Any],
+        matched: List[Tuple[Atom, Fact]],
+        delta: Delta,
+        next_index: int = 0,
+    ) -> None:
+        """Depth-first join of the remaining body atoms, then finalization."""
+        index = next_index
+        while index < len(body_atoms) and (
+            index == trigger_position or body_atoms[index] is None
+        ):
+            index += 1
+        if index >= len(body_atoms):
+            self._finalize_binding(rule, binding, matched, delta)
+            return
+        atom = body_atoms[index]
+        table = self.catalog.table(atom.name)
+        constraints: Dict[int, Any] = {}
+        for arg_index, arg in enumerate(atom.args):
+            if isinstance(arg, Variable) and not arg.is_wildcard:
+                if arg.name in binding:
+                    constraints[arg_index] = binding[arg.name]
+            elif isinstance(arg, Constant):
+                constraints[arg_index] = arg.value
+        for row in table.lookup(constraints):
+            extended = self._match_atom(atom, row, binding)
+            if extended is None:
+                continue
+            fact = Fact(atom.name, row, atom.location_index)
+            self._join_remaining(
+                rule,
+                body_atoms,
+                trigger_position,
+                extended,
+                matched + [(atom, fact)],
+                delta,
+                index + 1,
+            )
+
+    def _match_atom(
+        self, atom: Atom, values: Sequence[Any], binding: Mapping[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Unify *atom*'s arguments with *values*, extending *binding*."""
+        if len(values) != len(atom.args):
+            return None
+        extended = dict(binding)
+        for arg, value in zip(atom.args, values):
+            if isinstance(arg, Variable):
+                if arg.is_wildcard:
+                    continue
+                bound = extended.get(arg.name, _UNBOUND)
+                if bound is _UNBOUND:
+                    extended[arg.name] = value
+                elif bound != value:
+                    return None
+            elif isinstance(arg, Constant):
+                if arg.value != value:
+                    return None
+            else:
+                # expression argument: must be evaluable under current binding
+                try:
+                    expected = arg.evaluate(extended, self.functions)
+                except EvaluationError:
+                    return None
+                if expected != value:
+                    return None
+        return extended
+
+    def _finalize_binding(
+        self,
+        rule: Rule,
+        binding: Dict[str, Any],
+        matched: List[Tuple[Atom, Fact]],
+        delta: Delta,
+    ) -> None:
+        """Evaluate assignments and conditions, then emit the head delta."""
+        env = dict(binding)
+        for literal in rule.body:
+            if isinstance(literal, Assignment):
+                try:
+                    env[literal.variable.name] = literal.expression.evaluate(
+                        env, self.functions
+                    )
+                except EvaluationError as exc:
+                    raise EvaluationError(
+                        f"rule {rule.label}: failed to evaluate {literal}: {exc}"
+                    ) from exc
+            elif isinstance(literal, Condition):
+                try:
+                    if not literal.expression.evaluate(env, self.functions):
+                        return
+                except EvaluationError as exc:
+                    raise EvaluationError(
+                        f"rule {rule.label}: failed to evaluate {literal}: {exc}"
+                    ) from exc
+        body_facts = tuple(fact for _, fact in matched)
+        if rule.label in self._aggregate_rules:
+            self._apply_aggregate(rule, env, body_facts, delta)
+            return
+        head_values = self._evaluate_head(rule.head, env)
+        head_fact = Fact(rule.head.name, head_values, rule.head.location_index)
+        self._emit(rule, delta.action, head_fact, env, body_facts, delta)
+
+    def _evaluate_head(self, head: Atom, env: Mapping[str, Any]) -> List[Any]:
+        values: List[Any] = []
+        for arg in head.args:
+            if isinstance(arg, AggregateSpec):
+                raise EvaluationError(
+                    "aggregate head attribute reached scalar evaluation"
+                )
+            values.append(arg.evaluate(env, self.functions))
+        return values
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    def _apply_aggregate(
+        self,
+        rule: Rule,
+        env: Mapping[str, Any],
+        body_facts: Tuple[Fact, ...],
+        delta: Delta,
+    ) -> None:
+        compiled = self._aggregate_rules[rule.label]
+        spec = compiled.spec
+        group_values: List[Any] = []
+        for index, arg in enumerate(rule.head.args):
+            if index == compiled.aggregate_index:
+                continue
+            group_values.append(arg.evaluate(env, self.functions))
+        group_key = tuple(
+            tuple(v) if isinstance(v, list) else v for v in group_values
+        )
+        if spec.is_star:
+            aggregated_value: Any = 1
+        elif len(spec.variables_) == 1:
+            aggregated_value = env[spec.variables_[0]]
+        else:
+            aggregated_value = tuple(env[name] for name in spec.variables_)
+        state = compiled.groups.get(group_key)
+        if state is None:
+            state = AggregateState(spec.func)
+            compiled.groups[group_key] = state
+        if delta.is_refresh:
+            # Annotation refresh: the group's membership is unchanged, but the
+            # annotation of the currently-emitted row must be re-propagated.
+            emitted_row = compiled.emitted.get(group_key)
+            if emitted_row is not None:
+                emitted_fact = Fact(rule.head.name, emitted_row, rule.head.location_index)
+                self._emit(rule, REFRESH, emitted_fact, env, body_facts, delta)
+            return
+        if delta.is_insert:
+            state.insert(aggregated_value)
+        else:
+            state.delete(aggregated_value)
+
+        old_row = compiled.emitted.get(group_key)
+        new_row: Optional[Tuple[Any, ...]] = None
+        if not state.is_empty or spec.func in ("count", "sum"):
+            if state.is_empty and spec.func in ("count", "sum"):
+                new_row = None
+            else:
+                aggregate_result = state.current()
+                row: List[Any] = []
+                group_iter = iter(group_values)
+                for index in range(len(rule.head.args)):
+                    if index == compiled.aggregate_index:
+                        row.append(aggregate_result)
+                    else:
+                        row.append(next(group_iter))
+                new_row = tuple(
+                    tuple(v) if isinstance(v, list) else v for v in row
+                )
+        if new_row == old_row:
+            return
+        if old_row is not None:
+            old_fact = Fact(rule.head.name, old_row, rule.head.location_index)
+            self._emit(rule, DELETE, old_fact, env, body_facts, delta)
+            del compiled.emitted[group_key]
+        if new_row is not None:
+            new_fact = Fact(rule.head.name, new_row, rule.head.location_index)
+            compiled.emitted[group_key] = new_row
+            self._emit(rule, INSERT, new_fact, env, body_facts, delta)
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def _emit(
+        self,
+        rule: Rule,
+        action: str,
+        head_fact: Fact,
+        env: Mapping[str, Any],
+        body_facts: Tuple[Fact, ...],
+        source_delta: Delta,
+    ) -> None:
+        self.stats["rule_firings"] += 1
+        if action != REFRESH:
+            firing = RuleFiring(
+                rule=rule,
+                action=action,
+                head_fact=head_fact,
+                body_facts=body_facts,
+                binding=dict(env),
+                node=self.address,
+            )
+            for listener in self._rule_listeners:
+                listener(firing)
+
+        annotation = None
+        if self.annotation_policy is not None and action in (INSERT, REFRESH):
+            body_annotations = [
+                self._annotation_for(fact, source_delta) for fact in body_facts
+            ]
+            annotation = self.annotation_policy.combine(
+                rule, body_annotations, self.address
+            )
+
+        destination = head_fact.location
+        delta = Delta(action, head_fact, annotation)
+        if destination == self.address:
+            self.enqueue(delta)
+        else:
+            self.stats["deltas_sent"] += 1
+            if self._send is None:
+                raise EvaluationError(
+                    f"rule {rule.label} derived remote tuple {head_fact} but no "
+                    "send callback is configured"
+                )
+            self._send(destination, delta)
+
+    # ------------------------------------------------------------------ #
+    # annotations (value-based provenance support)
+    # ------------------------------------------------------------------ #
+    def _annotation_key(self, fact: Fact) -> Tuple[str, Tuple[Any, ...]]:
+        return (fact.name, tuple(_hashable(v) for v in fact.values))
+
+    def _store_annotation(self, fact: Fact, annotation: Any) -> bool:
+        """Merge *annotation* into the store; return True when it changed."""
+        key = self._annotation_key(fact)
+        existing = self._annotations.get(key)
+        if existing is None:
+            self._annotations[key] = annotation
+            return True
+        merged = self.annotation_policy.merge(existing, annotation)
+        self._annotations[key] = merged
+        return not self._annotations_equal(existing, merged)
+
+    @staticmethod
+    def _annotations_equal(left: Any, right: Any) -> bool:
+        try:
+            return bool(left == right)
+        except Exception:  # pragma: no cover - exotic annotation types
+            return left is right
+
+    def _merge_annotation(self, fact: Fact, annotation: Any) -> None:
+        self._store_annotation(fact, annotation)
+
+    def _lookup_annotation(self, fact: Fact) -> Any:
+        return self._annotations.get(self._annotation_key(fact))
+
+    def _clear_annotation(self, fact: Fact) -> None:
+        self._annotations.pop(self._annotation_key(fact), None)
+
+    def _annotation_for(self, fact: Fact, source_delta: Delta) -> Any:
+        if (
+            fact.name == source_delta.fact.name
+            and tuple(fact.values) == tuple(source_delta.fact.values)
+            and source_delta.annotation is not None
+        ):
+            return source_delta.annotation
+        stored = self._lookup_annotation(fact)
+        if stored is not None:
+            return stored
+        if self.annotation_policy is not None:
+            return self.annotation_policy.base(fact)
+        return None
+
+    def annotation_of(self, fact: Fact) -> Any:
+        """Public accessor for a stored value-based provenance annotation."""
+        return self._lookup_annotation(fact)
+
+    # ------------------------------------------------------------------ #
+    # convenience queries
+    # ------------------------------------------------------------------ #
+    def table_rows(self, name: str) -> List[Tuple[Any, ...]]:
+        """Return the rows of local table *name* (sorted, for stable tests)."""
+        table = self.catalog.table(name)
+        return sorted(table.rows(), key=repr)
+
+    def has_fact(self, name: str, values: Sequence[Any]) -> bool:
+        return tuple(values) in self.catalog.table(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NDlogEngine(address={self.address!r}, rules={len(self.rules)})"
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value

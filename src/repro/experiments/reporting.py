@@ -1,0 +1,181 @@
+"""Reporting helpers: render figure results and compare against the paper.
+
+:func:`paper_expectations` records, for every figure, the qualitative shape
+the paper reports (who wins, by roughly what factor).  :func:`check_shape`
+evaluates a reproduced :class:`~repro.experiments.metrics.FigureResult`
+against that expectation and returns a list of human-readable findings; the
+benchmark suite asserts on the boolean outcome, and EXPERIMENTS.md quotes
+the findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import FigureResult
+
+__all__ = ["ShapeCheck", "paper_expectations", "check_shape", "render_report"]
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative expectation extracted from the paper."""
+
+    description: str
+    holds: Callable[[FigureResult], bool]
+
+
+def _mean(result: FigureResult, label: str) -> float:
+    series = result.series.get(label)
+    return series.mean_y() if series is not None else 0.0
+
+
+def _total(result: FigureResult, label: str) -> float:
+    series = result.series.get(label)
+    return sum(series.ys()) if series is not None else 0.0
+
+
+def paper_expectations() -> Dict[str, List[ShapeCheck]]:
+    """Qualitative expectations per figure (see Section 7 of the paper)."""
+    value = "Value-based Prov. (BDD)"
+    ref = "Ref-based Prov."
+    none = "No Prov."
+    return {
+        "Figure 6": [
+            ShapeCheck(
+                "value-based provenance costs substantially more than reference-based",
+                lambda r: _mean(r, value) > 1.5 * _mean(r, ref),
+            ),
+            ShapeCheck(
+                "reference-based provenance adds modest overhead over no provenance",
+                lambda r: _mean(r, none) < _mean(r, ref) < 2.0 * _mean(r, none),
+            ),
+            ShapeCheck(
+                "communication cost grows with network size (scalability trend)",
+                lambda r: r.series[ref].ys()[-1] > r.series[ref].ys()[0],
+            ),
+        ],
+        "Figure 7": [
+            ShapeCheck(
+                "value-based provenance costs more than reference-based for PATHVECTOR",
+                lambda r: _mean(r, value) > 1.2 * _mean(r, ref),
+            ),
+            ShapeCheck(
+                "reference-based overhead stays below value-based overhead",
+                lambda r: _mean(r, none) < _mean(r, ref) < _mean(r, value),
+            ),
+        ],
+        "Figure 8": [
+            ShapeCheck(
+                "payloads dominate: provenance overhead on the data plane is small",
+                lambda r: _mean(r, value) < 1.5 * _mean(r, none)
+                and _mean(r, ref) < 1.5 * _mean(r, none),
+            ),
+        ],
+        "Figure 9": [
+            ShapeCheck(
+                "under churn, ref-based tracks no-provenance closely",
+                lambda r: _mean(r, ref) < 2.0 * _mean(r, none),
+            ),
+            ShapeCheck(
+                "under churn, value-based consumes significantly more bandwidth",
+                lambda r: _mean(r, value) > _mean(r, ref),
+            ),
+        ],
+        "Figure 10": [
+            ShapeCheck(
+                "under churn, ref-based tracks no-provenance closely",
+                lambda r: _mean(r, ref) < 2.0 * _mean(r, none),
+            ),
+            ShapeCheck(
+                "under churn, value-based consumes significantly more bandwidth",
+                lambda r: _mean(r, value) > _mean(r, ref),
+            ),
+        ],
+        "Figure 11": [
+            ShapeCheck(
+                "caching reduces query bandwidth",
+                lambda r: _total(r, "With caching") < _total(r, "Without caching"),
+            ),
+        ],
+        "Figure 12": [
+            ShapeCheck(
+                "caching reduces the 80th-percentile query latency",
+                lambda r: float(r.notes.get("With caching p80 (s)", 0.0))
+                <= float(r.notes.get("Without caching p80 (s)", 0.0)),
+            ),
+        ],
+        "Figure 13": [
+            ShapeCheck(
+                "DFS-Threshold uses less bandwidth than BFS",
+                lambda r: float(r.notes.get("DFS-Threshold total KB", 0.0))
+                < float(r.notes.get("BFS total KB", 1.0)),
+            ),
+            ShapeCheck(
+                "BFS and DFS use roughly equivalent bandwidth",
+                lambda r: abs(
+                    float(r.notes.get("BFS total KB", 0.0))
+                    - float(r.notes.get("DFS total KB", 0.0))
+                )
+                < 0.35 * max(float(r.notes.get("BFS total KB", 1.0)), 1e-9),
+            ),
+        ],
+        "Figure 14": [
+            ShapeCheck(
+                "plain DFS has the worst tail latency",
+                lambda r: float(r.notes.get("DFS p80 (s)", 0.0))
+                >= float(r.notes.get("BFS p80 (s)", 0.0)),
+            ),
+            ShapeCheck(
+                "thresholding reduces the DFS tail",
+                lambda r: float(r.notes.get("DFS-Threshold p80 (s)", 0.0))
+                <= float(r.notes.get("DFS p80 (s)", 0.0)),
+            ),
+        ],
+        "Figure 15": [
+            ShapeCheck(
+                "BDD query results use less bandwidth than polynomials",
+                lambda r: float(r.notes.get("BDD total KB", 0.0))
+                < float(r.notes.get("Polynomial total KB", 1.0)),
+            ),
+        ],
+        "Figure 16": [
+            ShapeCheck(
+                "on the testbed topology, ref-based costs much less than value-based",
+                lambda r: float(r.notes.get("Ref-based Prov. total KB per node", 0.0))
+                < float(
+                    r.notes.get("Value-based Prov. (BDD) total KB per node", 1.0)
+                ),
+            ),
+        ],
+        "Figure 17": [
+            ShapeCheck(
+                "provenance maintenance does not materially increase fixpoint latency",
+                lambda r: _mean(r, ref) < 1.25 * _mean(r, none) + 1e-9
+                and _mean(r, value) < 1.25 * _mean(r, none) + 1e-9,
+            ),
+            ShapeCheck(
+                "fixpoint latency grows with network size",
+                lambda r: r.series[none].ys()[-1] >= r.series[none].ys()[0],
+            ),
+        ],
+    }
+
+
+def check_shape(result: FigureResult) -> List[Tuple[str, bool]]:
+    """Evaluate the paper's qualitative expectations against *result*."""
+    checks = paper_expectations().get(result.figure_id, [])
+    return [(check.description, bool(check.holds(result))) for check in checks]
+
+
+def render_report(results: List[FigureResult]) -> str:
+    """Render all figure results plus their shape checks as plain text."""
+    lines: List[str] = []
+    for result in results:
+        lines.append(result.render())
+        for description, holds in check_shape(result):
+            status = "OK " if holds else "FAIL"
+            lines.append(f"  [{status}] {description}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Command-line entry point for the experiment harness.
+
+Run all figures (or a selection) and print the reproduced series together
+with the qualitative shape checks against the paper::
+
+    python -m repro.experiments.runner                 # all figures, fast sizes
+    python -m repro.experiments.runner --figure 6 7    # just Figures 6 and 7
+    python -m repro.experiments.runner --paper-scale   # paper-sized sweeps (slow)
+
+The same runners back the pytest-benchmark suite in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .figures import (
+    figure_06_mincost_communication,
+    figure_07_pathvector_communication,
+    figure_08_packetforward_bandwidth,
+    figure_09_mincost_churn,
+    figure_10_pathvector_churn,
+    figure_11_caching_bandwidth,
+    figure_12_caching_latency,
+    figure_13_traversal_bandwidth,
+    figure_14_traversal_latency,
+    figure_15_polynomial_vs_bdd,
+    figure_16_testbed_bandwidth,
+    figure_17_testbed_fixpoint,
+)
+from .metrics import FigureResult
+from .reporting import check_shape, render_report
+
+__all__ = ["FIGURE_RUNNERS", "run_figures", "main"]
+
+FIGURE_RUNNERS: Dict[str, Callable[..., FigureResult]] = {
+    "6": figure_06_mincost_communication,
+    "7": figure_07_pathvector_communication,
+    "8": figure_08_packetforward_bandwidth,
+    "9": figure_09_mincost_churn,
+    "10": figure_10_pathvector_churn,
+    "11": figure_11_caching_bandwidth,
+    "12": figure_12_caching_latency,
+    "13": figure_13_traversal_bandwidth,
+    "14": figure_14_traversal_latency,
+    "15": figure_15_polynomial_vs_bdd,
+    "16": figure_16_testbed_bandwidth,
+    "17": figure_17_testbed_fixpoint,
+}
+
+#: Overrides used with ``--paper-scale`` (the paper's own sweep parameters).
+PAPER_SCALE_KWARGS: Dict[str, dict] = {
+    "6": {"sizes": (100, 200, 300, 400, 500)},
+    "7": {"sizes": (100, 200, 300, 400, 500)},
+    "8": {"size": 200, "packets_per_second": 100.0, "duration": 4.5},
+    "9": {"size": 200, "rounds": 5, "links_per_round": 10},
+    "10": {"size": 200, "rounds": 5, "links_per_round": 10},
+    "11": {"size": 100, "duration": 6.0},
+    "12": {"size": 100, "duration": 6.0},
+    "13": {"grid_side": 10, "duration": 6.0},
+    "14": {"grid_side": 10, "duration": 6.0},
+    "15": {"size": 100, "duration": 6.0},
+    "16": {"size": 40},
+    "17": {"sizes": (5, 10, 15, 20, 25, 30, 35, 40)},
+}
+
+
+def run_figures(
+    figure_ids: Optional[Sequence[str]] = None,
+    paper_scale: bool = False,
+    verbose: bool = True,
+) -> List[FigureResult]:
+    """Run the selected figures (all by default) and return their results."""
+    selected = list(figure_ids) if figure_ids else list(FIGURE_RUNNERS)
+    results: List[FigureResult] = []
+    for figure_id in selected:
+        runner = FIGURE_RUNNERS.get(str(figure_id))
+        if runner is None:
+            raise KeyError(f"unknown figure id {figure_id!r}")
+        kwargs = PAPER_SCALE_KWARGS.get(str(figure_id), {}) if paper_scale else {}
+        started = time.time()
+        result = runner(**kwargs)
+        elapsed = time.time() - started
+        result.notes["wall-clock seconds"] = round(elapsed, 2)
+        results.append(result)
+        if verbose:
+            print(result.render())
+            for description, holds in check_shape(result):
+                status = "OK " if holds else "FAIL"
+                print(f"  [{status}] {description}")
+            print()
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figure",
+        nargs="*",
+        default=None,
+        help="figure numbers to run (default: all)",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's network sizes (slow: hours of simulation)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-figure output"
+    )
+    arguments = parser.parse_args(argv)
+    results = run_figures(
+        arguments.figure, paper_scale=arguments.paper_scale, verbose=not arguments.quiet
+    )
+    if arguments.quiet:
+        print(render_report(results))
+    failed = [
+        (result.figure_id, description)
+        for result in results
+        for description, holds in check_shape(result)
+        if not holds
+    ]
+    if failed:
+        print("Shape checks that did not hold:")
+        for figure_id, description in failed:
+            print(f"  {figure_id}: {description}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

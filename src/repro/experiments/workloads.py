@@ -1,0 +1,183 @@
+"""Workload generators for the evaluation experiments.
+
+Three workloads drive the paper's figures:
+
+* :class:`QueryWorkload` — every node issues provenance queries at a fixed
+  rate against randomly selected tuples (Figures 11-15: five queries per
+  second per node against random ``bestPathCost`` tuples);
+* :class:`PacketWorkload` — every node sends fixed-size payloads to a random
+  peer at a fixed rate over PACKETFORWARD (Figure 8: 1024-byte tuples at
+  100 tuples/second);
+* :func:`make_churn` — the stub-link churn process of Figures 9-10 (ten
+  random stub-to-stub links added or deleted every 0.5 seconds).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.api import ExspanNetwork
+from ..core.query import QueryOutcome, QuerySpec
+from ..datalog.ast import Fact
+from ..net.churn import ChurnGenerator
+from ..net.stats import LatencyStats
+from ..protocols.packetforward import packet_event
+
+__all__ = ["QueryWorkload", "PacketWorkload", "make_churn"]
+
+
+@dataclass
+class QueryWorkload:
+    """Schedules provenance queries from every node at a fixed per-node rate.
+
+    Parameters
+    ----------
+    network:
+        A fixpointed :class:`~repro.core.api.ExspanNetwork`.
+    spec:
+        The query customization to use (registered on all nodes).
+    table:
+        Relation whose tuples are queried (default ``bestPathCost``).
+    queries_per_second:
+        Per-node query rate (the paper uses 5).
+    duration:
+        Length of the workload in simulated seconds.
+    local_tuples_only:
+        When True (default) each node queries tuples stored locally, which is
+        how the evaluation targets "a randomly selected bestPathCost tuple"
+        without an extra discovery step; the query traversal itself still
+        fans out across the network.
+    """
+
+    network: ExspanNetwork
+    spec: QuerySpec
+    table: str = "bestPathCost"
+    queries_per_second: float = 5.0
+    duration: float = 2.0
+    seed: int = 0
+    local_tuples_only: bool = True
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    def schedule(self) -> int:
+        """Schedule all queries on the simulator; returns the number scheduled."""
+        self.network.register_query_spec(self.spec)
+        rng = random.Random(self.seed)
+        interval = 1.0 / self.queries_per_second
+        scheduled = 0
+        start = self.network.now
+        for address in self.network.addresses():
+            candidates = self._candidate_tuples(address)
+            if not candidates:
+                continue
+            offset = rng.uniform(0, interval)
+            time = offset
+            while time < self.duration:
+                fact_row = rng.choice(candidates)
+                fact = Fact(self.table, fact_row)
+                target = fact.location
+                self.network.simulator.schedule_at(
+                    start + time,
+                    self._issue(address, target, fact),
+                )
+                scheduled += 1
+                time += interval
+        return scheduled
+
+    def _candidate_tuples(self, address: Any) -> List[Tuple[Any, ...]]:
+        if self.local_tuples_only:
+            table = self.network.node(address).engine.catalog.table(self.table)
+            return list(table.rows())
+        return [row for _, row in self.network.tuples(self.table)]
+
+    def _issue(self, issuer: Any, target: Any, fact: Fact) -> Callable[[], None]:
+        def issue() -> None:
+            self.network.node(issuer).query_service.query_fact(
+                fact, target, self.spec.name, self.outcomes.append
+            )
+
+        return issue
+
+    def run(self, drain: bool = True) -> List[QueryOutcome]:
+        """Schedule the workload and run the simulation until it drains."""
+        self.schedule()
+        if drain:
+            self.network.simulator.run_until_idle()
+        else:
+            self.network.run_for(self.duration)
+        return self.outcomes
+
+    def latency_stats(self) -> LatencyStats:
+        stats = LatencyStats()
+        stats.extend(outcome.latency for outcome in self.outcomes)
+        return stats
+
+
+@dataclass
+class PacketWorkload:
+    """Data-plane packet workload for PACKETFORWARD (Figure 8)."""
+
+    network: ExspanNetwork
+    payload_bytes: int = 1024
+    packets_per_second: float = 100.0
+    duration: float = 1.0
+    seed: int = 0
+    sent: int = 0
+
+    def schedule(self) -> int:
+        rng = random.Random(self.seed)
+        interval = 1.0 / self.packets_per_second
+        addresses = self.network.addresses()
+        start = self.network.now
+        payload = "x" * self.payload_bytes
+        scheduled = 0
+        for address in addresses:
+            time = rng.uniform(0, interval)
+            while time < self.duration:
+                destination = rng.choice([a for a in addresses if a != address])
+                event = packet_event(address, address, destination, payload)
+                self.network.simulator.schedule_at(
+                    start + time, self._inject(address, event)
+                )
+                scheduled += 1
+                time += interval
+        self.sent = scheduled
+        return scheduled
+
+    def _inject(self, address: Any, event: Fact) -> Callable[[], None]:
+        def inject() -> None:
+            engine = self.network.node(address).engine
+            engine.insert(event)
+            engine.run()
+
+        return inject
+
+    def run(self) -> int:
+        """Schedule the workload and run until all packets are delivered."""
+        self.schedule()
+        self.network.simulator.run_until_idle()
+        return self.sent
+
+    def delivered(self) -> int:
+        """Packets that reached their destination (``recvPacket`` rows)."""
+        return len(self.network.tuples("recvPacket"))
+
+
+def make_churn(
+    network: ExspanNetwork,
+    links_per_round: int = 10,
+    interval: float = 0.5,
+    seed: int = 0,
+) -> ChurnGenerator:
+    """Build the stub-link churn generator of Section 7.2 for *network*."""
+    return ChurnGenerator(
+        topology=network.topology,
+        simulator=network.simulator,
+        add_link=lambda a, b, cost: network.add_link(a, b, cost),
+        remove_link=lambda a, b: network.remove_link(a, b),
+        links_per_round=links_per_round,
+        interval=interval,
+        seed=seed,
+        link_cost=network.link_cost,
+    )

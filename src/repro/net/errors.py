@@ -1,0 +1,28 @@
+"""Exception types for the network simulation substrate."""
+
+from __future__ import annotations
+
+
+class NetworkError(Exception):
+    """Base class for all network-substrate errors."""
+
+
+class UnknownNodeError(NetworkError):
+    """Raised when a message is addressed to a node that does not exist."""
+
+    def __init__(self, address):
+        super().__init__(f"unknown node address: {address!r}")
+        self.address = address
+
+
+class NoRouteError(NetworkError):
+    """Raised when two nodes are not connected by any path in the topology."""
+
+    def __init__(self, source, destination):
+        super().__init__(f"no route from {source!r} to {destination!r}")
+        self.source = source
+        self.destination = destination
+
+
+class SimulationError(NetworkError):
+    """Raised for scheduling errors (e.g. events in the past)."""

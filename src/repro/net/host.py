@@ -1,0 +1,69 @@
+"""Simulated hosts.
+
+A :class:`Host` is one addressable endpoint in the simulated network.  It
+dispatches incoming :class:`~repro.net.message.Message` objects to handlers
+registered per message *kind* — the NDlog runtime registers a ``"delta"``
+handler, the ExSPAN provenance query service registers provenance-query
+handlers, and so on.  Hosts know nothing about what the payloads mean.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .errors import NetworkError
+from .message import Message
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One node of the simulated network."""
+
+    def __init__(self, address: Any, network: "Network"):
+        self.address = address
+        self.network = network
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self.messages_received = 0
+        self.bytes_received = 0
+        self.up = True
+
+    # ------------------------------------------------------------------ #
+    # handler registration
+    # ------------------------------------------------------------------ #
+    def register_handler(self, kind: str, handler: Callable[[Message], None]) -> None:
+        """Register *handler* for messages of the given *kind*."""
+        self._handlers[kind] = handler
+
+    def has_handler(self, kind: str) -> bool:
+        return kind in self._handlers
+
+    # ------------------------------------------------------------------ #
+    # sending / receiving
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        destination: Any,
+        kind: str,
+        payload: Any,
+        size: Optional[int] = None,
+    ) -> Message:
+        """Send *payload* to *destination* through the network."""
+        return self.network.send(self.address, destination, kind, payload, size)
+
+    def deliver(self, message: Message) -> None:
+        """Called by the network when a message arrives at this host."""
+        if not self.up:
+            return
+        self.messages_received += 1
+        self.bytes_received += message.size
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            raise NetworkError(
+                f"host {self.address!r} has no handler for message kind "
+                f"{message.kind!r}"
+            )
+        handler(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.address!r})"

@@ -1,0 +1,139 @@
+"""The simulated network: hosts + topology + event-driven message delivery.
+
+:class:`Network` glues together a :class:`~repro.net.simulator.Simulator`,
+a :class:`~repro.net.topology.Topology` and a set of
+:class:`~repro.net.host.Host` objects.  Sending a message records its size
+with :class:`~repro.net.stats.TrafficStats` and schedules its delivery after
+the shortest-path latency between sender and receiver (the underlying IP
+network routes messages between non-adjacent nodes, as in the ns-3
+prototype).
+
+An optional per-byte transmission delay models bandwidth constraints; it is
+disabled by default because the paper's workloads are far from saturating
+the configured capacities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from .errors import NoRouteError, UnknownNodeError
+from .host import Host
+from .message import HEADER_OVERHEAD, Message, payload_size
+from .simulator import Simulator
+from .stats import TrafficStats
+from .topology import Topology
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A set of hosts connected by a topology, driven by a simulator."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        simulator: Optional[Simulator] = None,
+        default_latency: float = 0.001,
+        model_transmission_delay: bool = False,
+    ):
+        self.topology = topology
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.stats = TrafficStats()
+        self.default_latency = default_latency
+        self.model_transmission_delay = model_transmission_delay
+        self._hosts: Dict[Any, Host] = {}
+        self._drop_disconnected = False
+        for node in topology.nodes:
+            self.add_host(node)
+
+    # ------------------------------------------------------------------ #
+    # hosts
+    # ------------------------------------------------------------------ #
+    def add_host(self, address: Any) -> Host:
+        host = self._hosts.get(address)
+        if host is None:
+            host = Host(address, self)
+            self._hosts[address] = host
+        return host
+
+    def host(self, address: Any) -> Host:
+        try:
+            return self._hosts[address]
+        except KeyError:
+            raise UnknownNodeError(address) from None
+
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    def addresses(self) -> List[Any]:
+        return list(self._hosts)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._hosts)
+
+    # ------------------------------------------------------------------ #
+    # messaging
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        source: Any,
+        destination: Any,
+        kind: str,
+        payload: Any,
+        size: Optional[int] = None,
+    ) -> Message:
+        """Send a message; returns the in-flight :class:`Message`."""
+        destination_host = self.host(destination)
+        message = Message(source=source, destination=destination, kind=kind, payload=payload)
+        if size is not None:
+            message.size = size
+        message.compute_size()
+        message.sent_at = self.simulator.now
+        self.stats.record(self.simulator.now, source, destination, message.size, kind)
+        latency = self._latency(source, destination, message.size)
+        message.delivered_at = self.simulator.now + latency
+        self.simulator.schedule(latency, lambda: destination_host.deliver(message))
+        return message
+
+    def _latency(self, source: Any, destination: Any, size: int) -> float:
+        if source == destination:
+            return 0.0
+        try:
+            latency = self.topology.latency_between(source, destination)
+        except NoRouteError:
+            if self._drop_disconnected:
+                # Deliver never: model a partitioned network by a very large
+                # latency rather than raising inside protocol code.
+                return float("inf")
+            latency = self.default_latency
+        if self.model_transmission_delay:
+            a_to_b = self.topology
+            # approximate transmission delay using the slowest first-hop link
+            neighbors = a_to_b.neighbors(source)
+            if neighbors:
+                slowest = min(
+                    (a_to_b.link(source, neighbor).bandwidth for neighbor in neighbors),
+                    default=0.0,
+                )
+                if slowest:
+                    latency += size / slowest
+        return latency
+
+    # ------------------------------------------------------------------ #
+    # execution helpers
+    # ------------------------------------------------------------------ #
+    def run_to_fixpoint(self, max_events: Optional[int] = None) -> float:
+        """Run until no events remain; return the fixpoint time."""
+        self.simulator.run_until_idle(max_events=max_events)
+        return self.simulator.now
+
+    def run_for(self, duration: float) -> None:
+        """Run the simulation for *duration* simulated seconds."""
+        self.simulator.run(until=self.simulator.now + duration)
+
+    def broadcast_handler(self, kind: str, factory: Callable[[Host], Callable]) -> None:
+        """Register a handler built by *factory* on every host."""
+        for host in self.hosts():
+            host.register_handler(kind, factory(host))

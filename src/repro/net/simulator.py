@@ -1,0 +1,119 @@
+"""A small discrete-event simulator.
+
+This is the reproduction's substitute for ns-3: it provides an event queue
+ordered by simulated time, with deterministic FIFO tie-breaking for events
+scheduled at the same instant.  All latencies are in seconds.
+
+The simulator knows nothing about networks; :mod:`repro.net.network` builds
+message delivery on top of :meth:`Simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import SimulationError
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the simulator queue (ordered by time, then sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that it is skipped when dequeued."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: List[ScheduledEvent] = []
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = ScheduledEvent(time=time, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue empties, *until* is reached, or
+        *max_events* have executed.  Returns the number of events executed."""
+        executed = 0
+        while self._queue:
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                self._now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            if self.step():
+                executed += 1
+        return executed
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Run until no events remain (network fixpoint)."""
+        return self.run(until=None, max_events=max_events)
+
+    def _peek(self) -> Optional[ScheduledEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock with no events (used by workload generators)."""
+        if time < self._now:
+            raise SimulationError("cannot move the clock backwards")
+        self._now = time

@@ -1,0 +1,164 @@
+"""Traffic statistics collection.
+
+The experiment harness derives all of the paper's figures from the raw
+per-message records collected here: total and per-node communication cost
+(Figures 6, 7, 16), bandwidth over time (Figures 8-11, 13, 15, 16), query
+completion latency distributions (Figures 12, 14), and fixpoint latency
+(Figure 17).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["MessageRecord", "TrafficStats", "LatencyStats", "cdf_points"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One sent message: when, who, how many bytes, and what kind."""
+
+    time: float
+    source: Any
+    destination: Any
+    size: int
+    kind: str
+
+
+class TrafficStats:
+    """Accumulates :class:`MessageRecord` entries and answers questions."""
+
+    def __init__(self) -> None:
+        self._records: List[MessageRecord] = []
+        self.messages_sent = 0
+
+    def record(self, time: float, source: Any, destination: Any, size: int, kind: str) -> None:
+        self._records.append(MessageRecord(time, source, destination, size, kind))
+        self.messages_sent += 1
+
+    def reset(self) -> None:
+        """Drop all records (used between experiment phases)."""
+        self._records.clear()
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # aggregate views
+    # ------------------------------------------------------------------ #
+    def records(self, kinds: Optional[Iterable[str]] = None) -> List[MessageRecord]:
+        if kinds is None:
+            return list(self._records)
+        wanted = set(kinds)
+        return [record for record in self._records if record.kind in wanted]
+
+    def total_bytes(self, kinds: Optional[Iterable[str]] = None) -> int:
+        return sum(record.size for record in self.records(kinds))
+
+    def total_messages(self, kinds: Optional[Iterable[str]] = None) -> int:
+        return len(self.records(kinds))
+
+    def bytes_by_sender(self, kinds: Optional[Iterable[str]] = None) -> Dict[Any, int]:
+        """Bytes transmitted per sending node."""
+        per_node: Dict[Any, int] = defaultdict(int)
+        for record in self.records(kinds):
+            per_node[record.source] += record.size
+        return dict(per_node)
+
+    def average_bytes_per_node(
+        self, node_count: int, kinds: Optional[Iterable[str]] = None
+    ) -> float:
+        """Average communication cost per node in bytes (Figures 6, 7, 16)."""
+        if node_count <= 0:
+            return 0.0
+        return self.total_bytes(kinds) / node_count
+
+    def bandwidth_timeseries(
+        self,
+        bucket: float,
+        node_count: int,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> List[Tuple[float, float]]:
+        """Average per-node bandwidth (bytes/second) in time buckets.
+
+        Returns ``[(bucket_start_time, bytes_per_second_per_node), ...]``.
+        """
+        records = self.records(kinds)
+        if end is None:
+            end = max((record.time for record in records), default=start) + bucket
+        buckets: Dict[int, float] = defaultdict(float)
+        for record in records:
+            if record.time < start or record.time >= end:
+                continue
+            buckets[int((record.time - start) // bucket)] += record.size
+        series: List[Tuple[float, float]] = []
+        total_buckets = max(int((end - start) / bucket + 0.999), 1)
+        denominator = bucket * max(node_count, 1)
+        for index in range(total_buckets):
+            series.append((start + index * bucket, buckets.get(index, 0.0) / denominator))
+        return series
+
+    def last_activity_time(self, kinds: Optional[Iterable[str]] = None) -> float:
+        """Time of the last recorded message (used as fixpoint latency)."""
+        records = self.records(kinds)
+        return max((record.time for record in records), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class LatencyStats:
+    """Collects completion latencies (e.g. of provenance queries)."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self._samples.append(latency)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        self._samples.extend(latencies)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the latency at the given CDF *fraction* (0..1)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(int(fraction * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def cdf(self, points: int = 50) -> List[Tuple[float, float]]:
+        """Return ``(latency, cumulative_fraction)`` pairs for plotting."""
+        return cdf_points(self._samples, points)
+
+
+def cdf_points(samples: Sequence[float], points: int = 50) -> List[Tuple[float, float]]:
+    """Compute a CDF over *samples* as ``(value, fraction <= value)`` pairs."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    total = len(ordered)
+    maximum = ordered[-1]
+    minimum = ordered[0]
+    if points <= 1 or maximum == minimum:
+        return [(maximum, 1.0)]
+    step = (maximum - minimum) / (points - 1)
+    result: List[Tuple[float, float]] = []
+    for index in range(points):
+        value = minimum + index * step
+        fraction = bisect_right(ordered, value) / total
+        result.append((value, fraction))
+    return result

@@ -1,0 +1,383 @@
+"""Network topologies: generic graph model plus the paper's generators.
+
+Two generators reproduce the evaluation setups of the paper:
+
+* :func:`transit_stub_topology` mimics the GT-ITM transit-stub topologies of
+  Section 7 ("eight nodes per stub, three stubs per transit node, and four
+  nodes per transit domain"), with the paper's per-tier latencies and
+  bandwidth capacities.  The number of nodes grows by adding domains: one
+  domain is 4 transit nodes x (1 + 3 stubs x 8 nodes) = 100 nodes.
+* :func:`ring_topology` mimics the 40-node testbed deployment of Section 7.4
+  (a ring for reachability plus one random peer per node, maximum degree 3).
+
+A :class:`Topology` holds named nodes and *symmetric* links annotated with
+latency (seconds), bandwidth capacity (bytes/second) and a routing cost used
+by the NDlog protocols (fixed at 1 in the paper, i.e. hop count).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .errors import NoRouteError
+
+__all__ = [
+    "LinkSpec",
+    "Topology",
+    "transit_stub_topology",
+    "ring_topology",
+    "line_topology",
+    "grid_topology",
+    "TIER_TRANSIT",
+    "TIER_TRANSIT_STUB",
+    "TIER_STUB",
+]
+
+# Link tiers, matching the GT-ITM terminology used by the paper.
+TIER_TRANSIT = "transit-transit"
+TIER_TRANSIT_STUB = "transit-stub"
+TIER_STUB = "stub-stub"
+
+# Paper's link parameters: latency in seconds, bandwidth in bytes/second.
+_TIER_LATENCY = {
+    TIER_TRANSIT: 0.050,
+    TIER_TRANSIT_STUB: 0.010,
+    TIER_STUB: 0.002,
+}
+_TIER_BANDWIDTH = {
+    TIER_TRANSIT: 1_000_000_000 / 8,
+    TIER_TRANSIT_STUB: 100_000_000 / 8,
+    TIER_STUB: 50_000_000 / 8,
+}
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Attributes of one (symmetric) link."""
+
+    latency: float = 0.010
+    bandwidth: float = 12_500_000.0
+    cost: int = 1
+    tier: str = TIER_STUB
+
+
+class Topology:
+    """An undirected graph of nodes with per-link attributes."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._nodes: List[Any] = []
+        self._node_set: Set[Any] = set()
+        self._node_kind: Dict[Any, str] = {}
+        self._links: Dict[Tuple[Any, Any], LinkSpec] = {}
+        self._adjacency: Dict[Any, Set[Any]] = {}
+        self._route_cache: Dict[Any, Dict[Any, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Any, kind: str = "stub") -> None:
+        if node in self._node_set:
+            return
+        self._nodes.append(node)
+        self._node_set.add(node)
+        self._node_kind[node] = kind
+        self._adjacency[node] = set()
+
+    def add_link(self, a: Any, b: Any, spec: Optional[LinkSpec] = None) -> None:
+        """Add a symmetric link between *a* and *b* (idempotent)."""
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        self.add_node(a)
+        self.add_node(b)
+        spec = spec or LinkSpec()
+        self._links[self._key(a, b)] = spec
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._route_cache.clear()
+
+    def remove_link(self, a: Any, b: Any) -> bool:
+        """Remove the link between *a* and *b*; returns False if absent."""
+        key = self._key(a, b)
+        if key not in self._links:
+            return False
+        del self._links[key]
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+        self._route_cache.clear()
+        return True
+
+    @staticmethod
+    def _key(a: Any, b: Any) -> Tuple[Any, Any]:
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[Any]:
+        return list(self._nodes)
+
+    def node_kind(self, node: Any) -> str:
+        return self._node_kind.get(node, "stub")
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def has_node(self, node: Any) -> bool:
+        return node in self._node_set
+
+    def has_link(self, a: Any, b: Any) -> bool:
+        return self._key(a, b) in self._links
+
+    def link(self, a: Any, b: Any) -> LinkSpec:
+        return self._links[self._key(a, b)]
+
+    def links(self) -> Iterator[Tuple[Any, Any, LinkSpec]]:
+        for (a, b), spec in self._links.items():
+            yield a, b, spec
+
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def neighbors(self, node: Any) -> List[Any]:
+        return sorted(self._adjacency.get(node, ()), key=repr)
+
+    def degree(self, node: Any) -> int:
+        return len(self._adjacency.get(node, ()))
+
+    def links_by_tier(self, tier: str) -> List[Tuple[Any, Any, LinkSpec]]:
+        return [(a, b, spec) for a, b, spec in self.links() if spec.tier == tier]
+
+    # ------------------------------------------------------------------ #
+    # link facts for the NDlog protocols
+    # ------------------------------------------------------------------ #
+    def link_facts(self) -> List[Tuple[Any, Any, int]]:
+        """Return directed ``(src, dst, cost)`` triples for every link.
+
+        Links are symmetric, so both directions are emitted — each node is
+        "initialized with a link tuple for each of its neighbors".
+        """
+        facts: List[Tuple[Any, Any, int]] = []
+        for a, b, spec in self.links():
+            facts.append((a, b, spec.cost))
+            facts.append((b, a, spec.cost))
+        return facts
+
+    # ------------------------------------------------------------------ #
+    # routing (latency between arbitrary node pairs)
+    # ------------------------------------------------------------------ #
+    def latency_between(self, source: Any, destination: Any) -> float:
+        """Shortest-path latency between two nodes (Dijkstra, cached)."""
+        if source == destination:
+            return 0.0
+        table = self._route_cache.get(source)
+        if table is None:
+            table = self._dijkstra(source)
+            self._route_cache[source] = table
+        try:
+            return table[destination]
+        except KeyError:
+            raise NoRouteError(source, destination) from None
+
+    def _dijkstra(self, source: Any) -> Dict[Any, float]:
+        distances: Dict[Any, float] = {source: 0.0}
+        heap: List[Tuple[float, int, Any]] = [(0.0, 0, source)]
+        sequence = 0
+        visited: Set[Any] = set()
+        while heap:
+            distance, _, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for neighbor in self._adjacency.get(node, ()):
+                spec = self._links[self._key(node, neighbor)]
+                candidate = distance + spec.latency
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    sequence += 1
+                    heapq.heappush(heap, (candidate, sequence, neighbor))
+        return distances
+
+    def is_connected(self) -> bool:
+        if not self._nodes:
+            return True
+        reachable = self._dijkstra(self._nodes[0])
+        return len(reachable) == len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({self.name!r}, nodes={self.node_count()}, "
+            f"links={self.link_count()})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# generators
+# ---------------------------------------------------------------------- #
+def transit_stub_topology(
+    domains: int = 1,
+    transit_per_domain: int = 4,
+    stubs_per_transit: int = 3,
+    nodes_per_stub: int = 8,
+    seed: int = 0,
+    link_cost: int = 1,
+) -> Topology:
+    """Generate a GT-ITM style transit-stub topology.
+
+    With the paper's defaults one domain contains
+    ``4 * (1 + 3 * 8) = 100`` nodes; the evaluation sweeps network size by
+    increasing ``domains``.
+    """
+    rng = random.Random(seed)
+    topology = Topology(name=f"transit-stub-{domains}d")
+    transit_nodes: List[List[str]] = []
+
+    for domain in range(domains):
+        domain_transits: List[str] = []
+        for index in range(transit_per_domain):
+            node = f"t{domain}_{index}"
+            topology.add_node(node, kind="transit")
+            domain_transits.append(node)
+        # Connect transit nodes within a domain as a ring plus one chord,
+        # giving the dense transit core GT-ITM produces.
+        count = len(domain_transits)
+        for index in range(count):
+            a = domain_transits[index]
+            b = domain_transits[(index + 1) % count]
+            if a != b and not topology.has_link(a, b):
+                topology.add_link(a, b, _spec(TIER_TRANSIT, link_cost))
+        if count > 3:
+            topology.add_link(
+                domain_transits[0], domain_transits[count // 2], _spec(TIER_TRANSIT, link_cost)
+            )
+        transit_nodes.append(domain_transits)
+
+    # Interconnect domains through their first transit nodes (ring of domains).
+    for domain in range(1, domains):
+        topology.add_link(
+            transit_nodes[domain - 1][0],
+            transit_nodes[domain][0],
+            _spec(TIER_TRANSIT, link_cost),
+        )
+    if domains > 2:
+        topology.add_link(
+            transit_nodes[-1][1 % transit_per_domain],
+            transit_nodes[0][1 % transit_per_domain],
+            _spec(TIER_TRANSIT, link_cost),
+        )
+
+    # Attach stubs.
+    for domain, domain_transits in enumerate(transit_nodes):
+        for transit_index, transit in enumerate(domain_transits):
+            for stub_index in range(stubs_per_transit):
+                stub_nodes: List[str] = []
+                for node_index in range(nodes_per_stub):
+                    node = f"s{domain}_{transit_index}_{stub_index}_{node_index}"
+                    topology.add_node(node, kind="stub")
+                    stub_nodes.append(node)
+                # Stub internal structure: a ring plus a couple of random
+                # chords, giving average degree ~2.6 like GT-ITM stubs.
+                for index in range(len(stub_nodes)):
+                    a = stub_nodes[index]
+                    b = stub_nodes[(index + 1) % len(stub_nodes)]
+                    if a != b and not topology.has_link(a, b):
+                        topology.add_link(a, b, _spec(TIER_STUB, link_cost))
+                if len(stub_nodes) >= 3:
+                    extra_chords = max(1, nodes_per_stub // 4)
+                    for _ in range(extra_chords):
+                        a, b = rng.sample(stub_nodes, 2)
+                        if not topology.has_link(a, b):
+                            topology.add_link(a, b, _spec(TIER_STUB, link_cost))
+                # Gateway stub node connects to the transit node.
+                gateway = stub_nodes[0]
+                topology.add_link(transit, gateway, _spec(TIER_TRANSIT_STUB, link_cost))
+    return topology
+
+
+def ring_topology(
+    node_count: int,
+    random_peers: bool = True,
+    max_degree: int = 3,
+    seed: int = 0,
+    link_cost: int = 1,
+    latency: float = 0.001,
+    bandwidth: float = 125_000_000.0,
+) -> Topology:
+    """Generate the testbed topology of Section 7.4.
+
+    Nodes are arranged in a ring; when *random_peers* is set each node also
+    links to one random peer subject to the *max_degree* cap, giving the
+    "maximum degree of all nodes is three" structure of the paper.
+    """
+    rng = random.Random(seed)
+    topology = Topology(name=f"ring-{node_count}")
+    nodes = [f"n{index}" for index in range(node_count)]
+    for node in nodes:
+        topology.add_node(node, kind="stub")
+    spec = LinkSpec(latency=latency, bandwidth=bandwidth, cost=link_cost, tier=TIER_STUB)
+    for index in range(node_count):
+        topology.add_link(nodes[index], nodes[(index + 1) % node_count], spec)
+    if random_peers and node_count > 3:
+        order = list(range(node_count))
+        rng.shuffle(order)
+        for index in order:
+            node = nodes[index]
+            if topology.degree(node) >= max_degree:
+                continue
+            candidates = [
+                other
+                for other in nodes
+                if other != node
+                and not topology.has_link(node, other)
+                and topology.degree(other) < max_degree
+            ]
+            if not candidates:
+                continue
+            peer = rng.choice(candidates)
+            topology.add_link(node, peer, spec)
+    return topology
+
+
+def line_topology(node_count: int, link_cost: int = 1, latency: float = 0.010) -> Topology:
+    """A simple chain topology, useful for unit tests."""
+    topology = Topology(name=f"line-{node_count}")
+    nodes = [f"n{index}" for index in range(node_count)]
+    for node in nodes:
+        topology.add_node(node)
+    for index in range(node_count - 1):
+        topology.add_link(
+            nodes[index],
+            nodes[index + 1],
+            LinkSpec(latency=latency, cost=link_cost, tier=TIER_STUB),
+        )
+    return topology
+
+
+def grid_topology(rows: int, columns: int, link_cost: int = 1, latency: float = 0.005) -> Topology:
+    """A rows x columns grid topology, useful for tests and examples."""
+    topology = Topology(name=f"grid-{rows}x{columns}")
+    spec = LinkSpec(latency=latency, cost=link_cost, tier=TIER_STUB)
+    for row in range(rows):
+        for column in range(columns):
+            topology.add_node(f"g{row}_{column}")
+    for row in range(rows):
+        for column in range(columns):
+            node = f"g{row}_{column}"
+            if column + 1 < columns:
+                topology.add_link(node, f"g{row}_{column + 1}", spec)
+            if row + 1 < rows:
+                topology.add_link(node, f"g{row + 1}_{column}", spec)
+    return topology
+
+
+def _spec(tier: str, cost: int) -> LinkSpec:
+    return LinkSpec(
+        latency=_TIER_LATENCY[tier],
+        bandwidth=_TIER_BANDWIDTH[tier],
+        cost=cost,
+        tier=tier,
+    )

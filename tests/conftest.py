@@ -1,0 +1,8 @@
+"""Pytest fixtures shared across the test suite (see paper_example.py for data)."""
+
+from paper_example import (  # noqa: F401  (re-exported fixtures)
+    figure3_exspan_reference,
+    figure3_standalone_mincost,
+    small_ring_pathvector,
+    small_ring_reference,
+)

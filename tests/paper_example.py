@@ -1,0 +1,89 @@
+"""Shared fixtures for the ExSPAN reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExspanNetwork, ProvenanceMode
+from repro.datalog import Fact, StandaloneNetwork
+from repro.net import Topology, LinkSpec, ring_topology
+from repro.protocols import mincost_program, pathvector_program
+
+#: The example topology of Figure 3 in the paper: (src, dst, cost) triples
+#: (one direction only; links are symmetric).
+FIGURE3_LINKS = [
+    ("a", "b", 3),
+    ("a", "c", 5),
+    ("b", "c", 2),
+    ("b", "d", 5),
+    ("c", "d", 3),
+]
+
+FIGURE3_NODES = ["a", "b", "c", "d"]
+
+#: Best path costs expected on the Figure 3 topology.
+FIGURE3_BEST_COSTS = {
+    ("a", "b"): 3,
+    ("a", "c"): 5,
+    ("a", "d"): 8,
+    ("b", "c"): 2,
+    ("b", "d"): 5,
+    ("c", "d"): 3,
+}
+
+
+def insert_symmetric_links(network, links=FIGURE3_LINKS) -> None:
+    """Insert link facts in both directions into a StandaloneNetwork."""
+    for source, destination, cost in links:
+        network.insert(Fact("link", (source, destination, cost)))
+        network.insert(Fact("link", (destination, source, cost)))
+
+
+def figure3_topology() -> Topology:
+    """The Figure 3 topology as a :class:`Topology` (latency 1 ms per link)."""
+    topology = Topology(name="figure3")
+    for source, destination, cost in FIGURE3_LINKS:
+        topology.add_link(source, destination, LinkSpec(latency=0.001, cost=cost))
+    return topology
+
+
+@pytest.fixture
+def figure3_standalone_mincost() -> StandaloneNetwork:
+    """MINCOST running to fixpoint on the Figure 3 topology (no simulator)."""
+    network = StandaloneNetwork(FIGURE3_NODES, mincost_program())
+    insert_symmetric_links(network)
+    network.run()
+    return network
+
+
+@pytest.fixture
+def figure3_exspan_reference() -> ExspanNetwork:
+    """Reference-provenance MINCOST on the Figure 3 topology (simulated)."""
+    network = ExspanNetwork(
+        figure3_topology(), mincost_program(), mode=ProvenanceMode.REFERENCE
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    return network
+
+
+@pytest.fixture
+def small_ring_reference() -> ExspanNetwork:
+    """Reference-provenance MINCOST on a 10-node ring (unit link costs)."""
+    network = ExspanNetwork(
+        ring_topology(10, seed=7), mincost_program(), mode=ProvenanceMode.REFERENCE
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    return network
+
+
+@pytest.fixture
+def small_ring_pathvector() -> ExspanNetwork:
+    """Reference-provenance PATHVECTOR on an 8-node ring."""
+    network = ExspanNetwork(
+        ring_topology(8, seed=5), pathvector_program(), mode=ProvenanceMode.REFERENCE
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    return network

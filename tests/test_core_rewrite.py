@@ -1,0 +1,213 @@
+"""Tests for the provenance-maintenance rewrite (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from paper_example import FIGURE3_BEST_COSTS, FIGURE3_NODES, insert_symmetric_links
+from repro.core import (
+    PROV_TABLE,
+    RULE_EXEC_TABLE,
+    ProvenanceStore,
+    RewriteError,
+    build_global_graph,
+    rewrite_program,
+    rule_rid,
+    tuple_vid,
+)
+from repro.core.rewrite import ProvenanceRewriter
+from repro.datalog import Fact, StandaloneNetwork, parse_program
+from repro.protocols import mincost_program, packetforward_program, pathvector_program
+
+
+class TestRewriteStructure:
+    def test_non_aggregate_rule_produces_five_rules(self):
+        program = parse_program("r1 reach(@D,S) :- link(@S,D,C).")
+        rewritten = rewrite_program(program)
+        labels = [rule.label for rule in rewritten.rules]
+        for suffix in ("_ptmp", "_pexec", "_pmsg", "_phead", "_pprov"):
+            assert f"r1{suffix}" in labels
+        # plus one EDB prov rule for link
+        assert "edb_link_pprov" in labels
+        assert len(rewritten.rules) == 6
+
+    def test_aggregate_rule_keeps_original_and_adds_three(self):
+        rewritten = rewrite_program(mincost_program())
+        labels = [rule.label for rule in rewritten.rules]
+        assert "sp3" in labels           # original aggregate rule kept
+        assert "sp3_ptmp" in labels
+        assert "sp3_pexec" in labels
+        assert "sp3_pprov" in labels
+        assert "sp3_pmsg" not in labels  # aggregates are local: no message rule
+
+    def test_prov_and_rule_exec_tables_declared(self):
+        rewritten = rewrite_program(mincost_program())
+        names = {decl.name for decl in rewritten.declarations}
+        assert PROV_TABLE in names
+        assert RULE_EXEC_TABLE in names
+
+    def test_rewritten_program_validates(self):
+        rewrite_program(mincost_program()).validate()
+        rewrite_program(pathvector_program()).validate()
+        rewrite_program(packetforward_program()).validate()
+
+    def test_message_event_carries_only_rid_and_rloc_extra(self):
+        program = parse_program("r1 reach(@D,S) :- link(@S,D,C).")
+        rewritten = rewrite_program(program)
+        message_rule = rewritten.rule_by_label("r1_pmsg")
+        # original head has 2 attributes; message event has 2 + RID + RLoc
+        assert message_rule.head.arity == 4
+
+    def test_unsupported_aggregate_rejected(self):
+        program = parse_program("c1 total(@S,sum<C>) :- link(@S,D,C).")
+        with pytest.raises(RewriteError):
+            rewrite_program(program)
+
+    def test_rule_without_body_atoms_rejected(self):
+        program = parse_program("r1 one(@X,1) :- other(@X).")
+        # remove the body atom to simulate a degenerate rule
+        from repro.datalog.ast import Program, Rule
+
+        degenerate = Program(rules=[Rule("r1", program.rules[0].head, [])])
+        with pytest.raises(RewriteError):
+            rewrite_program(degenerate)
+
+    def test_constant_location_rule_rejected(self):
+        program = parse_program('r1 out(@D,S) :- link(@"a",S,D).')
+        with pytest.raises(RewriteError):
+            rewrite_program(program)
+
+    def test_fresh_variables_avoid_collisions(self):
+        # The original rule already uses ProvRLoc as a variable name.
+        program = parse_program(
+            "r1 out(@S,ProvRLoc) :- link(@S,ProvRLoc,C)."
+        )
+        rewritten = rewrite_program(program)
+        rewritten.validate()
+
+    def test_facts_and_declarations_carried_over(self):
+        program = mincost_program()
+        program.add_fact(Fact("link", ("a", "b", 1)))
+        rewritten = rewrite_program(program)
+        assert len(rewritten.facts) == 1
+        assert {decl.name for decl in rewritten.declarations} >= {"link", "pathCost"}
+
+
+class TestRewriteExecution:
+    """The rewritten program must derive the same tuples plus provenance."""
+
+    @pytest.fixture
+    def rewritten_network(self):
+        network = StandaloneNetwork(FIGURE3_NODES, rewrite_program(mincost_program()))
+        insert_symmetric_links(network)
+        network.run()
+        return network
+
+    def test_same_best_path_costs_as_original(self, rewritten_network):
+        rows = rewritten_network.all_rows("bestPathCost")
+        for (source, destination), cost in FIGURE3_BEST_COSTS.items():
+            assert (source, destination, cost) in rows
+
+    def test_prov_entries_created_for_base_tuples(self, rewritten_network):
+        store = ProvenanceStore(rewritten_network.engine("a"))
+        vid = tuple_vid("link", ("a", "b", 3))
+        entries = store.prov_entries(vid)
+        assert len(entries) == 1
+        assert entries[0].is_base
+
+    def test_prov_entries_for_derived_tuple_match_paper_example(self, rewritten_network):
+        """pathCost(@a,c,5) has two derivations: sp1@a and sp2@b (Table 1)."""
+        store = ProvenanceStore(rewritten_network.engine("a"))
+        vid = tuple_vid("pathCost", ("a", "c", 5))
+        entries = [entry for entry in store.prov_entries(vid) if not entry.is_base]
+        assert len(entries) == 2
+        locations = sorted(entry.rule_location for entry in entries)
+        assert locations == ["a", "b"]
+
+    def test_rule_exec_rid_matches_paper_hash_formula(self, rewritten_network):
+        """RID2 = SHA1("sp1" + a + VID3) for pathCost(@a,c,5) via sp1@a (Figure 5)."""
+        store_a = ProvenanceStore(rewritten_network.engine("a"))
+        vid_link = tuple_vid("link", ("a", "c", 5))
+        expected_rid = rule_rid("sp1", "a", [vid_link])
+        entry = store_a.rule_exec(expected_rid)
+        assert entry is not None
+        assert entry.rule_label == "sp1"
+        assert list(entry.input_vids) == [vid_link]
+
+    def test_sp2_rule_exec_references_both_inputs(self, rewritten_network):
+        """RID3 = SHA1("sp2" + b + VID_link(b,a,3) + VID_bestPathCost(b,c,2))."""
+        store_b = ProvenanceStore(rewritten_network.engine("b"))
+        vid_link = tuple_vid("link", ("b", "a", 3))
+        vid_best = tuple_vid("bestPathCost", ("b", "c", 2))
+        expected_rid = rule_rid("sp2", "b", [vid_link, vid_best])
+        entry = store_b.rule_exec(expected_rid)
+        assert entry is not None
+        assert entry.rule_label == "sp2"
+        assert set(entry.input_vids) == {vid_link, vid_best}
+
+    def test_aggregate_provenance_attributed_to_winning_tuple(self, rewritten_network):
+        """bestPathCost(@a,c,5) derives from the winning pathCost(@a,c,5) via sp3@a."""
+        store_a = ProvenanceStore(rewritten_network.engine("a"))
+        vid_best = tuple_vid("bestPathCost", ("a", "c", 5))
+        entries = [entry for entry in store_a.prov_entries(vid_best) if not entry.is_base]
+        assert len(entries) >= 1
+        rule_entry = store_a.rule_exec(entries[0].rid)
+        assert rule_entry.rule_label == "sp3"
+        assert tuple_vid("pathCost", ("a", "c", 5)) in rule_entry.input_vids
+
+    def test_global_graph_matches_figure5(self, rewritten_network):
+        stores = [
+            ProvenanceStore(rewritten_network.engine(node)) for node in FIGURE3_NODES
+        ]
+        graph = build_global_graph(stores)
+        assert graph.is_acyclic()
+        vid = tuple_vid("bestPathCost", ("a", "c", 5))
+        bases = graph.reachable_base_tuples(vid)
+        base_tuples = {
+            (graph.tuples[b].fact.name, graph.tuples[b].fact.values) for b in bases
+        }
+        assert base_tuples == {
+            ("link", ("a", "c", 5)),
+            ("link", ("b", "a", 3)),
+            ("link", ("b", "c", 2)),
+        }
+        assert graph.nodes_involved(vid) == frozenset({"a", "b"})
+
+    def test_deletion_cascades_to_prov_tables(self, rewritten_network):
+        network = rewritten_network
+        store_a = ProvenanceStore(network.engine("a"))
+        vid_pc = tuple_vid("pathCost", ("a", "c", 5))
+        assert len([e for e in store_a.prov_entries(vid_pc) if not e.is_base]) == 2
+        network.delete(Fact("link", ("a", "c", 5)))
+        network.delete(Fact("link", ("c", "a", 5)))
+        network.run()
+        remaining = [e for e in store_a.prov_entries(vid_pc) if not e.is_base]
+        assert len(remaining) == 1  # only the derivation through b survives
+        # the link's own base prov entry is gone as well
+        assert store_a.prov_entries(tuple_vid("link", ("a", "c", 5))) == []
+
+    def test_prov_row_counts_are_positive_everywhere(self, rewritten_network):
+        for node in FIGURE3_NODES:
+            store = ProvenanceStore(rewritten_network.engine(node))
+            assert store.prov_row_count() > 0
+            assert store.rule_exec_row_count() > 0
+
+
+class TestPathvectorRewriteExecution:
+    def test_pathvector_rewrite_preserves_routes(self):
+        network = StandaloneNetwork(FIGURE3_NODES, rewrite_program(pathvector_program()))
+        insert_symmetric_links(network)
+        network.run()
+        rows = [row for row in network.all_rows("bestPath") if row[0] == "a" and row[1] == "c"]
+        assert len(rows) == 1
+        assert list(rows[0][3]) == ["a", "b", "c"]
+
+    def test_packetforward_rewrite_executes(self):
+        program = pathvector_program().extended(packetforward_program(), "combined")
+        network = StandaloneNetwork(FIGURE3_NODES, rewrite_program(program))
+        insert_symmetric_links(network)
+        network.run()
+        network.insert(Fact("ePacket", ("a", "a", "d", "payload")))
+        network.run()
+        received = network.all_rows("recvPacket")
+        assert ("d", "a", "d", "payload") in received

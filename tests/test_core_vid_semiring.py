@@ -1,0 +1,195 @@
+"""Tests for vertex identifiers and provenance polynomials."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    EMPTY,
+    absorb,
+    count_derivations,
+    fact_vid,
+    is_derivable,
+    node_set,
+    product_of,
+    rule_rid,
+    sum_of,
+    tuple_vid,
+    var,
+)
+from repro.core.semiring import Literal, Product, Sum
+from repro.datalog import Fact
+from repro.datalog.functions import default_registry, sha1_hex
+
+
+class TestVids:
+    def test_tuple_vid_matches_paper_formula(self):
+        # VID = SHA1("link" + b + c + 2)
+        assert tuple_vid("link", ("b", "c", 2)) == sha1_hex("linkbc2")
+
+    def test_fact_vid_equals_tuple_vid(self):
+        fact = Fact("pathCost", ("a", "c", 5))
+        assert fact_vid(fact) == tuple_vid("pathCost", ("a", "c", 5))
+
+    def test_rule_rid_matches_paper_formula(self):
+        vid = tuple_vid("link", ("b", "c", 2))
+        # RID = SHA1("sp1" + b + VID1)
+        assert rule_rid("sp1", "b", [vid]) == sha1_hex("sp1b" + vid)
+
+    def test_vid_agrees_with_f_sha1_builtin(self):
+        registry = default_registry()
+        assert tuple_vid("link", ("a", "c", 5)) == registry.call(
+            "f_sha1", ["link", "a", "c", 5]
+        )
+
+    def test_rid_agrees_with_f_sha1_over_vid_list(self):
+        registry = default_registry()
+        vids = [tuple_vid("link", ("b", "a", 3)), tuple_vid("bestPathCost", ("b", "c", 2))]
+        assert rule_rid("sp2", "b", vids) == registry.call("f_sha1", ["sp2", "b", vids])
+
+    def test_float_costs_render_like_ints(self):
+        assert tuple_vid("link", ("a", "b", 3.0)) == tuple_vid("link", ("a", "b", 3))
+
+    @given(
+        st.text(min_size=1, max_size=10),
+        st.lists(st.one_of(st.text(max_size=5), st.integers(0, 99)), max_size=5),
+    )
+    def test_vid_is_deterministic(self, name, values):
+        assert tuple_vid(name, values) == tuple_vid(name, list(values))
+
+    def test_different_tuples_have_different_vids(self):
+        assert tuple_vid("link", ("a", "b", 1)) != tuple_vid("link", ("a", "b", 2))
+        assert tuple_vid("link", ("a", "b", 1)) != tuple_vid("pathCost", ("a", "b", 1))
+
+
+class TestPolynomialConstruction:
+    def test_figure4_polynomial(self):
+        # provenance of bestPathCost(@a,c,5): alpha + beta * gamma
+        alpha, beta, gamma = var("alpha"), var("beta"), var("gamma")
+        expression = sum_of([alpha, product_of([beta, gamma], rule="sp2", location="b")])
+        assert count_derivations(expression) == 2
+        assert node_set(expression) == frozenset({"alpha", "beta", "gamma"})
+        assert is_derivable(expression)
+
+    def test_sum_flattens_and_drops_empty(self):
+        expression = sum_of([var("a"), sum_of([var("b"), var("c")]), EMPTY])
+        assert isinstance(expression, Sum)
+        assert len(expression.terms) == 3
+
+    def test_product_with_empty_is_empty(self):
+        assert product_of([var("a"), EMPTY]) is EMPTY
+
+    def test_singleton_sum_and_product_collapse(self):
+        assert sum_of([var("a")]) == var("a")
+        assert product_of([var("a")]) == var("a")
+
+    def test_empty_sum_is_empty(self):
+        assert sum_of([]) is EMPTY
+        assert product_of([]) is EMPTY
+
+    def test_operator_overloads(self):
+        expression = var("a") + var("b") * var("c")
+        assert count_derivations(expression) == 2
+
+    def test_string_rendering_includes_rule_annotations(self):
+        expression = product_of([var("b"), var("g")], rule="sp2", location="b")
+        assert "<sp2@b>" in str(expression)
+
+    def test_depth(self):
+        assert var("x").depth() == 1
+        assert (var("x") + var("y")).depth() == 2
+        assert EMPTY.depth() == 0
+
+    def test_wire_size_grows_with_content(self):
+        small = var("a")
+        large = sum_of([var("a" * 10), var("b" * 10)], location="node")
+        assert large.wire_size() > small.wire_size()
+
+
+class TestSemiringEvaluations:
+    def test_count_derivations_multiplies_joins(self):
+        # (a + b) * (c + d) has 4 derivations
+        expression = product_of([sum_of([var("a"), var("b")]), sum_of([var("c"), var("d")])])
+        assert count_derivations(expression) == 4
+
+    def test_derivability_with_trusted_set(self):
+        expression = sum_of([var("a"), product_of([var("b"), var("c")])])
+        assert is_derivable(expression, trusted={"a"})
+        assert is_derivable(expression, trusted={"b", "c"})
+        assert not is_derivable(expression, trusted={"b"})
+        assert not is_derivable(EMPTY)
+
+    def test_node_set_collects_all_literals(self):
+        expression = product_of([var("n1"), sum_of([var("n2"), var("n1")])])
+        assert node_set(expression) == frozenset({"n1", "n2"})
+
+    def test_empty_has_zero_derivations(self):
+        assert count_derivations(EMPTY) == 0
+
+
+class TestAbsorption:
+    def test_paper_example_a_plus_ab_absorbs_to_a(self):
+        # a * (a + b) = a  (Section 6.3)
+        expression = product_of([var("a"), sum_of([var("a"), var("b")])])
+        assert absorb(expression) == frozenset({frozenset({"a"})})
+
+    def test_absorption_keeps_incomparable_products(self):
+        expression = sum_of([product_of([var("a"), var("b")]), product_of([var("c"), var("d")])])
+        assert absorb(expression) == frozenset(
+            {frozenset({"a", "b"}), frozenset({"c", "d"})}
+        )
+
+    def test_absorption_removes_supersets(self):
+        expression = sum_of([var("a"), product_of([var("a"), var("b")])])
+        assert absorb(expression) == frozenset({frozenset({"a"})})
+
+    def test_absorbed_form_preserves_derivability(self):
+        expression = product_of([var("a"), sum_of([var("a"), var("b")])])
+        dnf = absorb(expression)
+        # trusting only 'a' still derives the tuple in both representations
+        assert is_derivable(expression, trusted={"a"})
+        assert any(product <= {"a"} for product in dnf)
+
+
+# strategy for random provenance expressions over a small literal alphabet
+_literals = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+def _expressions(depth: int = 3):
+    base = _literals.map(var)
+    if depth == 0:
+        return base
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.lists(sub, min_size=1, max_size=3).map(sum_of),
+        st.lists(sub, min_size=1, max_size=3).map(product_of),
+    )
+
+
+class TestPolynomialProperties:
+    @given(_expressions())
+    def test_count_derivations_is_positive_for_nonempty(self, expression):
+        assert count_derivations(expression) >= 1
+
+    @given(_expressions())
+    def test_dnf_products_only_use_expression_literals(self, expression):
+        literals = set(expression.literals())
+        for product in expression.to_dnf():
+            assert set(product) <= literals
+
+    @given(_expressions(), st.sets(_literals, max_size=5))
+    def test_dnf_equivalent_to_expression_for_derivability(self, expression, trusted):
+        """Absorption is lossless for derivability tests (Section 6.3)."""
+        via_expression = is_derivable(expression, trusted=trusted)
+        via_dnf = any(product <= trusted for product in expression.to_dnf())
+        assert via_expression == via_dnf
+
+    @given(_expressions())
+    def test_dnf_is_antichain(self, expression):
+        """After absorption no product contains another."""
+        products = list(expression.to_dnf())
+        for index, left in enumerate(products):
+            for right in products[index + 1 :]:
+                assert not (left <= right or right <= left)

@@ -1,0 +1,210 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the scenarios the paper motivates: network debugging
+(trace a route's derivation), trust management (accept or reject state based
+on who produced it), and dynamic maintenance under topology change — all on
+the simulated network with reference-based provenance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ExspanNetwork,
+    Granularity,
+    GranularitySpec,
+    ProvenanceMode,
+    bdd_query,
+    count_derivations,
+    derivability_query,
+    derivation_count_query,
+    node_set_query,
+    polynomial_query,
+    tuple_vid,
+)
+from repro.datalog import Fact
+from repro.net import grid_topology, ring_topology, transit_stub_topology
+from repro.protocols import (
+    mincost_program,
+    packet_event,
+    packetforward_program,
+    pathvector_program,
+)
+
+
+class TestControlAndDataPlaneTogether:
+    @pytest.fixture(scope="class")
+    def network(self):
+        program = pathvector_program().extended(packetforward_program(), "pv+fwd")
+        network = ExspanNetwork(
+            ring_topology(8, seed=11), program, mode=ProvenanceMode.REFERENCE
+        )
+        network.seed_links()
+        network.run_to_fixpoint()
+        return network
+
+    def test_routes_converge_for_all_pairs(self, network):
+        pairs = {(row[0], row[1]) for _, row in network.tuples("bestPath")}
+        nodes = network.addresses()
+        assert len(pairs) == len(nodes) * (len(nodes) - 1)
+
+    def test_packets_follow_computed_routes(self, network):
+        source, destination = "n0", "n4"
+        engine = network.engine(source)
+        engine.insert(packet_event(source, source, destination, "payload-123"))
+        engine.run()
+        network.run_to_fixpoint()
+        received = [
+            row for _, row in network.tuples("recvPacket") if row[3] == "payload-123"
+        ]
+        assert len(received) == 1
+        assert received[0][0] == destination
+
+    def test_route_provenance_lists_links_on_path(self, network):
+        _, best_path_row = next(
+            (node, row)
+            for node, row in network.tuples("bestPath")
+            if row[0] == "n0" and row[1] == "n2"
+        )
+        path = list(best_path_row[3])
+        outcome = network.query_provenance(
+            Fact("bestPath", best_path_row), polynomial_query(name="route-prov")
+        )
+        literals = set(outcome.result.literals())
+        # every consecutive hop of the path appears as a link base tuple
+        # (the derivation uses the link stored at the upstream node, i.e. the
+        # reverse direction of the forwarding path, so accept either).
+        for hop_source, hop_destination in zip(path, path[1:]):
+            assert any(
+                literal.startswith(f"link({hop_source},{hop_destination}")
+                or literal.startswith(f"link({hop_destination},{hop_source}")
+                for literal in literals
+            )
+
+    def test_bestpath_has_single_derivation(self, network):
+        _, fact = network.random_tuple("bestPath")
+        outcome = network.query_provenance(
+            fact, derivation_count_query(name="pv-count")
+        )
+        assert outcome.result >= 1
+
+
+class TestTrustManagementScenario:
+    @pytest.fixture(scope="class")
+    def network(self):
+        network = ExspanNetwork(
+            transit_stub_topology(domains=1, nodes_per_stub=2, seed=3),
+            mincost_program(),
+            mode=ProvenanceMode.REFERENCE,
+        )
+        network.seed_links()
+        network.run_to_fixpoint()
+        return network
+
+    def test_node_level_provenance_identifies_participants(self, network):
+        node, fact = network.random_tuple("bestPathCost")
+        nodes_involved = network.query_provenance(
+            fact, node_set_query(name="tm-nodes")
+        ).result
+        assert fact.values[0] in nodes_involved
+        assert len(nodes_involved) >= 1
+
+    def test_derivability_respects_trusted_node_set(self, network):
+        node, fact = network.random_tuple("bestPathCost")
+        participants = network.query_provenance(
+            fact, node_set_query(name="tm-nodes2")
+        ).result
+        granularity = GranularitySpec(Granularity.NODE)
+        trusted_all = network.query_provenance(
+            fact,
+            derivability_query(
+                name="tm-trust-all", trusted=participants, granularity=granularity
+            ),
+        )
+        assert trusted_all.result is True
+        trusted_none = network.query_provenance(
+            fact,
+            derivability_query(
+                name="tm-trust-none", trusted={"nobody"}, granularity=granularity
+            ),
+        )
+        assert trusted_none.result is False
+
+    def test_trust_domain_granularity_groups_nodes(self, network):
+        node, fact = network.random_tuple("bestPathCost")
+        spec = bdd_query(
+            name="tm-domain",
+            granularity=GranularitySpec(Granularity.TRUST_DOMAIN),
+        )
+        outcome = network.query_provenance(fact, spec)
+        # domain identifiers are node-name prefixes like "s0" / "t0"
+        assert all(
+            name.startswith(("s", "t")) and "_" not in name
+            for name in outcome.result.support()
+        )
+
+
+class TestDynamicMaintenance:
+    def test_provenance_tracks_topology_changes(self):
+        network = ExspanNetwork(
+            grid_topology(3, 3), mincost_program(), mode=ProvenanceMode.REFERENCE
+        )
+        network.seed_links()
+        network.run_to_fixpoint()
+        corner_to_corner = Fact("bestPathCost", ("g0_0", "g2_2", 4))
+        before = network.query_provenance(
+            corner_to_corner, derivation_count_query(name="dyn-count")
+        )
+        assert before.result >= 2  # several equal-cost grid paths
+        # add a shortcut: best cost drops to 1 with a single derivation
+        network.add_link("g0_0", "g2_2", cost=1)
+        network.run_to_fixpoint()
+        shortcut = Fact("bestPathCost", ("g0_0", "g2_2", 1))
+        after = network.query_provenance(
+            shortcut, polynomial_query(name="dyn-poly")
+        )
+        assert count_derivations(after.result) == 1
+        assert set(after.result.literals()) == {"link(g0_0,g2_2,1)"}
+        # the old cost-4 tuple is gone everywhere
+        assert all(
+            row != ("g0_0", "g2_2", 4) for _, row in network.tuples("bestPathCost")
+        )
+
+    def test_consistency_between_graph_and_distributed_queries(self):
+        network = ExspanNetwork(
+            ring_topology(8, seed=13), mincost_program(), mode=ProvenanceMode.REFERENCE
+        )
+        network.seed_links()
+        network.run_to_fixpoint()
+        graph = network.provenance_graph()
+        assert graph.is_acyclic()
+        for _ in range(5):
+            node, fact = network.random_tuple("bestPathCost")
+            vid = tuple_vid("bestPathCost", fact.values)
+            distributed_nodes = network.query_provenance(
+                fact, node_set_query(name="cons-nodes")
+            ).result
+            graph_nodes = graph.nodes_involved(vid)
+            assert distributed_nodes == graph_nodes
+
+    def test_modes_agree_on_protocol_state(self):
+        """All four provenance modes compute identical routing state."""
+        results = {}
+        for mode in (
+            ProvenanceMode.NONE,
+            ProvenanceMode.REFERENCE,
+            ProvenanceMode.VALUE,
+            ProvenanceMode.CENTRALIZED,
+        ):
+            network = ExspanNetwork(
+                ring_topology(8, seed=21), mincost_program(), mode=mode
+            )
+            network.seed_links()
+            network.run_to_fixpoint()
+            results[mode] = {
+                (row[0], row[1]): row[2] for _, row in network.tuples("bestPathCost")
+            }
+        baseline = results[ProvenanceMode.NONE]
+        for mode, costs in results.items():
+            assert costs == baseline, f"{mode} diverged from the baseline"

@@ -1,0 +1,145 @@
+"""Tests for the discrete-event simulator and message size accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import HEADER_OVERHEAD, Message, Simulator, payload_size
+from repro.net.errors import SimulationError
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(0.5, lambda: order.append("b"))
+        simulator.schedule(0.1, lambda: order.append("a"))
+        simulator.schedule(0.9, lambda: order.append("c"))
+        simulator.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert simulator.now == pytest.approx(0.9)
+
+    def test_fifo_tie_breaking_at_same_time(self):
+        simulator = Simulator()
+        order = []
+        for index in range(5):
+            simulator.schedule(1.0, lambda index=index: order.append(index))
+        simulator.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_more_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            simulator.schedule(0.5, lambda: seen.append("second"))
+
+        simulator.schedule(1.0, first)
+        simulator.run_until_idle()
+        assert seen == ["first", "second"]
+        assert simulator.now == pytest.approx(1.5)
+
+    def test_run_until_limit(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(2.0, lambda: fired.append(2))
+        simulator.run(until=1.5)
+        assert fired == [1]
+        assert simulator.now == pytest.approx(1.5)
+        simulator.run_until_idle()
+        assert fired == [1, 2]
+
+    def test_cancelled_event_is_skipped(self):
+        simulator = Simulator()
+        fired = []
+        event = simulator.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        simulator.run_until_idle()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run_until_idle()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_max_events_bound(self):
+        simulator = Simulator()
+        for index in range(10):
+            simulator.schedule(index * 0.1, lambda: None)
+        executed = simulator.run(max_events=3)
+        assert executed == 3
+        assert simulator.pending_events == 7
+
+    def test_advance_clock(self):
+        simulator = Simulator()
+        simulator.advance_to(5.0)
+        assert simulator.now == 5.0
+        with pytest.raises(SimulationError):
+            simulator.advance_to(1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_execution_times_are_monotone(self, delays):
+        simulator = Simulator()
+        times = []
+        for delay in delays:
+            simulator.schedule(delay, lambda: times.append(simulator.now))
+        simulator.run_until_idle()
+        assert times == sorted(times)
+
+
+class TestPayloadSize:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (None, 1),
+            (True, 1),
+            (7, 4),
+            (3.5, 8),
+            ("abcd", 4),
+            (b"xyz", 3),
+        ],
+    )
+    def test_scalar_sizes(self, value, expected):
+        assert payload_size(value) == expected
+
+    def test_list_size_includes_framing(self):
+        assert payload_size(["ab", "cd"]) == 2 + 2 + 2
+
+    def test_dict_size(self):
+        assert payload_size({"k": "vv"}) == 2 + 1 + 2
+
+    def test_nested_structures(self):
+        value = {"vid": "x" * 20, "children": ["y" * 20, "z" * 20]}
+        assert payload_size(value) == 2 + 3 + 20 + 8 + (2 + 40)
+
+    def test_object_with_wire_size_hook(self):
+        class Sized:
+            def wire_size(self):
+                return 123
+
+        assert payload_size(Sized()) == 123
+
+    @given(st.lists(st.text(max_size=10), max_size=10))
+    def test_list_size_monotone_in_content(self, items):
+        assert payload_size(items) >= payload_size([])
+
+
+class TestMessage:
+    def test_compute_size_includes_header_and_kind(self):
+        message = Message("a", "b", "delta", {"x": "yy"})
+        size = message.compute_size()
+        assert size == HEADER_OVERHEAD + len("delta") + payload_size({"x": "yy"})
+
+    def test_explicit_size_is_preserved(self):
+        message = Message("a", "b", "delta", None, size=999)
+        assert message.compute_size() == 999
