@@ -72,10 +72,12 @@ class ExspanNetwork:
         value_policy: str = "bdd",
         link_cost: int = 1,
         seed: int = 0,
+        planner: Optional[str] = None,
     ):
         self.topology = topology
         self.mode = mode
         self.link_cost = link_cost
+        self.planner = planner
         self._rng = random.Random(seed)
         if mode is ProvenanceMode.CENTRALIZED and collector is None:
             collector = topology.nodes[0]
@@ -101,6 +103,7 @@ class ExspanNetwork:
             address,
             functions=default_registry(),
             annotation_policy=policy,
+            planner=self.planner,
         )
         engine.set_send(self._make_sender(host, engine))
         engine.load_program(self.prepared.program)
@@ -329,6 +332,24 @@ class ExspanNetwork:
         prov_rows = sum(node.store.prov_row_count() for node in self.nodes.values())
         rule_rows = sum(node.store.rule_exec_row_count() for node in self.nodes.values())
         return {"prov": prov_rows, "ruleExec": rule_rows}
+
+    def planner_stats(self) -> Dict[str, int]:
+        """Aggregated planner / evaluation counters across every engine.
+
+        Includes plans compiled and recompiled, secondary indexes
+        registered, index vs full-scan lookups, and tuples scanned — the
+        numbers benchmark reports use to show scan-count reductions.
+        """
+        from ..net.stats import aggregate_engine_stats
+
+        return aggregate_engine_stats(
+            node.engine.stats for node in self.nodes.values()
+        )
+
+    def explain(self, rule_label: str, address: Optional[Any] = None) -> str:
+        """Render the compiled plans for *rule_label* at one node."""
+        target = address if address is not None else next(iter(self.nodes))
+        return self.node(target).engine.explain(rule_label)
 
     def cache_stats(self) -> Dict[str, int]:
         """Aggregated query-cache statistics across all nodes."""

@@ -18,7 +18,26 @@ from .ast import (
     is_event_predicate,
 )
 from .catalog import Catalog, Table
-from .engine import DELETE, INSERT, AnnotationPolicy, Delta, NDlogEngine, RuleFiring
+from .engine import (
+    DELETE,
+    INSERT,
+    PLANNERS,
+    AnnotationPolicy,
+    Delta,
+    NDlogEngine,
+    RuleFiring,
+    default_planner,
+    set_default_planner,
+)
+from .plan import (
+    CostModel,
+    GreedyOptimizer,
+    IndexManager,
+    PlanCompiler,
+    construct_join_graph,
+    explain_plan,
+    normalize_rule,
+)
 from .errors import (
     DatalogError,
     EvaluationError,
@@ -56,10 +75,20 @@ __all__ = [
     "Table",
     "DELETE",
     "INSERT",
+    "PLANNERS",
     "AnnotationPolicy",
     "Delta",
     "NDlogEngine",
     "RuleFiring",
+    "default_planner",
+    "set_default_planner",
+    "CostModel",
+    "GreedyOptimizer",
+    "IndexManager",
+    "PlanCompiler",
+    "construct_join_graph",
+    "explain_plan",
+    "normalize_rule",
     "DatalogError",
     "EvaluationError",
     "ParseError",

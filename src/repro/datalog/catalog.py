@@ -73,8 +73,14 @@ class Table:
         self._rows: Dict[Tuple[Any, ...], int] = {}
         # primary key -> full tuple (only when key_positions declared)
         self._by_key: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
-        # (positions) -> {values -> set of full tuples}; built lazily
-        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], set]] = {}
+        # (positions) -> {values -> ordered set (dict) of full tuples}.
+        # Buckets are insertion-ordered dicts, NOT sets: indexed lookups must
+        # enumerate rows in the same order a full scan of ``_rows`` would, so
+        # that planned and naive evaluation break equal-cost ties (e.g. two
+        # best paths of the same length) identically.
+        self._indexes: Dict[
+            Tuple[int, ...], Dict[Tuple[Any, ...], Dict[Tuple[Any, ...], None]]
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -153,24 +159,69 @@ class Table:
     # ------------------------------------------------------------------ #
     def _index_add(self, row: Tuple[Any, ...]) -> None:
         for positions, index in self._indexes.items():
-            index.setdefault(tuple(row[i] for i in positions), set()).add(row)
+            if positions and positions[-1] >= len(row):
+                continue  # row too short for this index; it can never match
+            index.setdefault(tuple(row[i] for i in positions), {})[row] = None
 
     def _index_remove(self, row: Tuple[Any, ...]) -> None:
         for positions, index in self._indexes.items():
-            bucket = index.get(tuple(row[i] for i in positions))
+            if positions and positions[-1] >= len(row):
+                continue
+            key = tuple(row[i] for i in positions)
+            bucket = index.get(key)
             if bucket is not None:
-                bucket.discard(row)
+                bucket.pop(row, None)
                 if not bucket:
-                    del index[tuple(row[i] for i in positions)]
+                    del index[key]
 
-    def _ensure_index(self, positions: Tuple[int, ...]) -> Dict[Tuple[Any, ...], set]:
+    def _ensure_index(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Any, ...], Dict[Tuple[Any, ...], None]]:
         index = self._indexes.get(positions)
         if index is None:
             index = {}
             for row in self._rows:
-                index.setdefault(tuple(row[i] for i in positions), set()).add(row)
+                if positions and positions[-1] >= len(row):
+                    continue
+                index.setdefault(tuple(row[i] for i in positions), {})[row] = None
             self._indexes[positions] = index
         return index
+
+    def ensure_index(self, positions: Sequence[int]) -> None:
+        """Materialize a secondary hash index over *positions* now.
+
+        The index is maintained incrementally by every subsequent insert and
+        delete.  The query planner registers the indexes its compiled plans
+        will use through this entry point so the first delta does not pay a
+        lazy build inside the evaluation loop.
+        """
+        canonical = tuple(sorted(set(int(p) for p in positions)))
+        if not canonical:
+            return
+        if canonical[0] < 0:
+            raise SchemaError(
+                f"relation {self.name!r}: negative index position {canonical[0]}"
+            )
+        if self.arity is not None and canonical[-1] >= self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} has arity {self.arity}; cannot index "
+                f"position {canonical[-1]}"
+            )
+        self._ensure_index(canonical)
+
+    def has_index(self, positions: Sequence[int]) -> bool:
+        return tuple(sorted(set(positions))) in self._indexes
+
+    def index_position_sets(self) -> List[Tuple[int, ...]]:
+        """The position sets currently indexed, sorted (for explain/stats)."""
+        return sorted(self._indexes)
+
+    def index_size(self, positions: Sequence[int]) -> int:
+        """Number of rows held by the index over *positions* (0 if absent)."""
+        index = self._indexes.get(tuple(sorted(set(positions))))
+        if not index:
+            return 0
+        return sum(len(bucket) for bucket in index.values())
 
     # ------------------------------------------------------------------ #
     # queries
@@ -241,6 +292,15 @@ class Catalog:
             table = Table(name, arity)
             self._tables[name] = table
         return table
+
+    def get(self, name: str) -> Optional[Table]:
+        """Return the table for *name* without creating it (None if absent).
+
+        The planner's statistics use this: costing a rule must not litter
+        the catalog with empty tables for relations (e.g. transient events)
+        that evaluation itself would never materialize.
+        """
+        return self._tables.get(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables

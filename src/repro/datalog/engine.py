@@ -59,6 +59,13 @@ from .ast import (
 from .catalog import Catalog, Table
 from .errors import EvaluationError, ValidationError
 from .functions import FunctionRegistry, default_registry
+from .plan import (
+    CatalogStatistics,
+    CompiledDeltaPlan,
+    IndexManager,
+    PlanCompiler,
+    explain_plans,
+)
 from .terms import AggregateSpec, Constant, Term, Variable
 
 __all__ = [
@@ -69,7 +76,32 @@ __all__ = [
     "INSERT",
     "DELETE",
     "REFRESH",
+    "PLANNERS",
+    "default_planner",
+    "set_default_planner",
 ]
+
+#: Evaluation strategies: "greedy" routes deltas through compiled plans from
+#: the cost-based planner (:mod:`repro.datalog.plan`); "naive" is the
+#: unoptimized left-to-right nested-loop join with no secondary indexes,
+#: kept so benchmarks can quantify what the planner buys.
+PLANNERS = ("greedy", "naive")
+
+_DEFAULT_PLANNER = "greedy"
+
+
+def default_planner() -> str:
+    """The strategy engines use when constructed without an explicit one."""
+    return _DEFAULT_PLANNER
+
+
+def set_default_planner(name: str) -> None:
+    """Set the process-wide default planner (experiment harness plumbing)."""
+    global _DEFAULT_PLANNER
+    if name not in PLANNERS:
+        raise ValueError(f"unknown planner {name!r}; expected one of {PLANNERS}")
+    _DEFAULT_PLANNER = name
+
 
 INSERT = "insert"
 DELETE = "delete"
@@ -174,6 +206,7 @@ class NDlogEngine:
         functions: Optional[FunctionRegistry] = None,
         send: Optional[Callable[[Any, Delta], None]] = None,
         annotation_policy: Optional[AnnotationPolicy] = None,
+        planner: Optional[str] = None,
     ):
         self.address = address
         self.functions = functions if functions is not None else default_registry()
@@ -188,6 +221,19 @@ class NDlogEngine:
         self._annotations: Dict[Tuple[str, Tuple[Any, ...]], Any] = {}
         self.rules: List[Rule] = []
         self.stats: Dict[str, int] = defaultdict(int)
+        self.planner = planner if planner is not None else default_planner()
+        if self.planner not in PLANNERS:
+            raise ValidationError(
+                f"unknown planner {self.planner!r}; expected one of {PLANNERS}"
+            )
+        # keyed by (id(rule), position): rule *identity*, not label, because
+        # load_program may be called more than once and distinct rules with
+        # the same label must not clobber each other's plans (self.rules
+        # keeps every rule alive, so ids stay stable)
+        self._plans: Dict[Tuple[int, int], CompiledDeltaPlan] = {}
+        self._statistics = CatalogStatistics(self.catalog)
+        self.index_manager = IndexManager(self.catalog, counters=self.stats)
+        self._plan_compiler = PlanCompiler(self._statistics, self.index_manager)
         if program is not None:
             self.load_program(program)
 
@@ -218,6 +264,31 @@ class NDlogEngine:
             )
         for position, atom in enumerate(rule.body_atoms):
             self._rules_by_predicate[atom.name].append((rule, position))
+            if self.planner == "greedy":
+                self._plans[(id(rule), position)] = self._plan_compiler.compile(
+                    rule, position
+                )
+                self.stats["plans_compiled"] += 1
+
+    def explain(self, label: Optional[str] = None) -> str:
+        """Render the compiled evaluation plans (``EXPLAIN`` for NDlog).
+
+        Returns the plans of every (rule, delta position) pair, or just the
+        rule named by *label*.  Only available with ``planner="greedy"``.
+        """
+        if self.planner != "greedy":
+            return f"planner={self.planner!r}: no compiled plans (nested-loop joins)"
+        plans = sorted(
+            (
+                plan
+                for plan in self._plans.values()
+                if label is None or plan.rule.label == label
+            ),
+            key=lambda plan: (plan.rule.label, plan.trigger_position),
+        )
+        if not plans:
+            return f"no compiled plans for rule label {label!r}"
+        return explain_plans(plans)
 
     def add_rule_listener(self, listener: Callable[[RuleFiring], None]) -> None:
         """Register a callback invoked after every successful rule firing."""
@@ -350,8 +421,33 @@ class NDlogEngine:
         binding = self._match_atom(trigger_atom, delta.fact.values, {})
         if binding is None:
             return
+        if self.planner == "greedy":
+            plan = self._plan_for(rule, position)
+            plan.execute(self, delta, binding)
+            return
         partial = [(trigger_atom, delta.fact)]
         self._join_remaining(rule, body_atoms, position, binding, partial, delta)
+
+    def _plan_for(self, rule: Rule, position: int) -> CompiledDeltaPlan:
+        """Fetch the compiled plan, recompiling when cardinalities drifted.
+
+        Plans are compiled at :meth:`add_rule` time with whatever the tables
+        held then (usually nothing).  Multi-step plans are therefore
+        re-costed periodically against live cardinalities — a different join
+        order never changes results, only scan counts.
+        """
+        plan = self._plans.get((id(rule), position))
+        if plan is None:
+            plan = self._plan_compiler.compile(rule, position)
+            self._plans[(id(rule), position)] = plan
+            self.stats["plans_compiled"] += 1
+            return plan
+        if plan.should_check_staleness() and plan.is_stale(self._statistics):
+            plan = self._plan_compiler.compile(rule, position)
+            plan.executions = 1  # keep the staleness check period aligned
+            self._plans[(id(rule), position)] = plan
+            self.stats["plans_recompiled"] += 1
+        return plan
 
     def _join_remaining(
         self,
@@ -363,7 +459,21 @@ class NDlogEngine:
         delta: Delta,
         next_index: int = 0,
     ) -> None:
-        """Depth-first join of the remaining body atoms, then finalization."""
+        """Naive depth-first nested-loop join of the remaining body atoms.
+
+        This is the ``planner="naive"`` baseline: atoms are joined strictly
+        left to right and every candidate row of each body table is examined
+        with no secondary-index support — the textbook strategy the planner
+        subsystem (:mod:`repro.datalog.plan`) is measured against.
+
+        Note this is deliberately *not* the pre-planner engine's code path,
+        which already constrained lookups with lazily-built hash indexes;
+        that behaviour lives on inside the greedy planner (which adds join
+        ordering, eager index registration, expression constraints and
+        condition pushdown on top).  Benchmark numbers comparing the two
+        planners therefore quantify the full cost of unindexed evaluation,
+        not the delta against the previous engine.
+        """
         index = next_index
         while index < len(body_atoms) and (
             index == trigger_position or body_atoms[index] is None
@@ -374,14 +484,10 @@ class NDlogEngine:
             return
         atom = body_atoms[index]
         table = self.catalog.table(atom.name)
-        constraints: Dict[int, Any] = {}
-        for arg_index, arg in enumerate(atom.args):
-            if isinstance(arg, Variable) and not arg.is_wildcard:
-                if arg.name in binding:
-                    constraints[arg_index] = binding[arg.name]
-            elif isinstance(arg, Constant):
-                constraints[arg_index] = arg.value
-        for row in table.lookup(constraints):
+        self.stats["full_scans"] += 1
+        scanned = 0
+        for row in table.rows():
+            scanned += 1
             extended = self._match_atom(atom, row, binding)
             if extended is None:
                 continue
@@ -395,6 +501,7 @@ class NDlogEngine:
                 delta,
                 index + 1,
             )
+        self.stats["tuples_scanned"] += scanned
 
     def _match_atom(
         self, atom: Atom, values: Sequence[Any], binding: Mapping[str, Any]

@@ -1,0 +1,392 @@
+"""Compiled per-(rule, delta-position) evaluation plans.
+
+For every rule and every body-atom position a delta can arrive at, the
+:class:`PlanCompiler` produces a :class:`CompiledDeltaPlan`:
+
+* the remaining body atoms in the order chosen by the
+  :class:`~repro.datalog.plan.optimizer.GreedyOptimizer`;
+* per step, a precomputed *lookup specification* — which argument positions
+  are constrained at runtime and where each constraint value comes from
+  (a bound variable, a constant, or an expression over bound variables);
+* per step, how many leading non-atom body literals (assignments and
+  conditions) become evaluable once the step's variables are bound, so
+  conditions prune join branches as early as possible (selection pushdown);
+* the secondary indexes each step needs, registered eagerly with the
+  :class:`~repro.datalog.plan.indexes.IndexManager`.
+
+Equivalence with the naive path is a hard requirement (the engine's results
+feed provenance VIDs and annotations), so execution is careful to mirror
+the naive semantics exactly:
+
+* lookup constraints are built only from variables bound by the trigger
+  atom and earlier *atoms* — never from assignment-derived variables, which
+  the naive path also ignores during matching;
+* pushed-down literals are evaluated with the same overwrite-in-body-order
+  semantics as finalization, and any :class:`EvaluationError` defers the
+  literal (and everything after it) back to finalization instead of
+  pruning, so error behaviour is unchanged;
+* matched body facts are handed to the engine in the naive order (trigger
+  first, then remaining atoms in body order) regardless of the join order,
+  keeping provenance annotation combination bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..ast import Assignment, Atom, Fact, Rule
+from ..errors import EvaluationError
+from .cost import CatalogStatistics, CostModel
+from .indexes import IndexManager
+from .join_graph import JoinGraph, construct_join_graph
+from .normalize import LiteralInfo, NormalizedRule, normalize_rule
+from .optimizer import GreedyOptimizer, JoinOrder
+
+__all__ = ["LookupSpec", "CompiledStep", "CompiledDeltaPlan", "PlanCompiler"]
+
+#: Plans with at least two join steps are checked for staleness every this
+#: many executions (single-step plans cannot benefit from reordering).
+STALENESS_CHECK_PERIOD = 64
+#: A relation must grow or shrink by this factor ...
+STALENESS_RATIO = 8.0
+#: ... and by at least this many rows before a plan is considered stale.
+STALENESS_MIN_DELTA = 32
+
+
+@dataclass(frozen=True)
+class LookupSpec:
+    """How to compute the constraint value for one argument position."""
+
+    position: int
+    kind: str  # "var" | "const" | "expr"
+    source: Any  # variable name | constant value | Term
+
+
+@dataclass(frozen=True)
+class CompiledStep:
+    """One join step of a compiled plan."""
+
+    atom: Atom
+    body_position: int
+    lookups: Tuple[LookupSpec, ...]
+    #: canonical index position tuple ( () means full fragment scan ).
+    index_positions: Tuple[int, ...]
+    #: leading non-atom literals evaluable once this step has matched.
+    literal_prefix: int
+    #: optimizer metadata, used by explain() only.
+    estimated_rows: float
+    connected: bool
+    key_covered: bool
+
+
+@dataclass
+class CompiledDeltaPlan:
+    """A ready-to-run evaluation plan for one (rule, trigger position)."""
+
+    rule: Rule
+    trigger_position: int
+    trigger_atom: Atom
+    steps: Tuple[CompiledStep, ...]
+    #: leading non-atom literals evaluable from the trigger binding alone.
+    initial_literal_prefix: int
+    #: non-trigger atom positions in body order (canonical fact ordering).
+    body_order: Tuple[Tuple[int, Atom], ...]
+    literals: Tuple[LiteralInfo, ...]
+    #: relation -> local cardinality when the plan was compiled.
+    cardinality_snapshot: Mapping[str, int]
+    estimated_scan: float
+    executions: int = 0
+
+    # ------------------------------------------------------------------ #
+    # staleness
+    # ------------------------------------------------------------------ #
+    def should_check_staleness(self) -> bool:
+        return (
+            len(self.steps) >= 2
+            and self.executions % STALENESS_CHECK_PERIOD == 0
+        )
+
+    def is_stale(self, statistics: CatalogStatistics) -> bool:
+        """True when join-relevant cardinalities drifted far from compile time.
+
+        Reordering can only help plans with two or more steps, so
+        single-step plans never go stale.
+        """
+        if len(self.steps) < 2:
+            return False
+        for name, old in self.cardinality_snapshot.items():
+            new = statistics.cardinality(name)
+            low, high = min(old, new), max(old, new)
+            if high - low >= STALENESS_MIN_DELTA and high >= STALENESS_RATIO * max(low, 1):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, engine, delta, binding: Dict[str, Any]) -> None:
+        """Run the plan for *delta* given the trigger atom's *binding*."""
+        self.executions += 1
+        if not self.steps:
+            matched = [(self.trigger_atom, delta.fact)]
+            engine._finalize_binding(self.rule, binding, matched, delta)
+            return
+        if self.initial_literal_prefix and not self._apply_literal_prefix(
+            engine, binding, self.initial_literal_prefix
+        ):
+            return
+        facts: Dict[int, Fact] = {}
+        self._join(engine, delta, binding, 0, facts)
+
+    def _join(
+        self,
+        engine,
+        delta,
+        binding: Dict[str, Any],
+        step_index: int,
+        facts: Dict[int, Fact],
+    ) -> None:
+        if step_index == len(self.steps):
+            matched = [(self.trigger_atom, delta.fact)]
+            for position, atom in self.body_order:
+                matched.append((atom, facts[position]))
+            engine._finalize_binding(self.rule, binding, matched, delta)
+            return
+        step = self.steps[step_index]
+        constraints = self._constraints(engine, step, binding)
+        table = engine.catalog.table(step.atom.name)
+        stats = engine.stats
+        if constraints:
+            stats["index_lookups"] += 1
+        else:
+            stats["full_scans"] += 1
+        scanned = 0
+        for row in table.lookup(constraints):
+            scanned += 1
+            extended = engine._match_atom(step.atom, row, binding)
+            if extended is None:
+                continue
+            if step.literal_prefix and not self._apply_literal_prefix(
+                engine, extended, step.literal_prefix
+            ):
+                continue
+            facts[step.body_position] = Fact(
+                step.atom.name, row, step.atom.location_index
+            )
+            self._join(engine, delta, extended, step_index + 1, facts)
+        stats["tuples_scanned"] += scanned
+
+    def _constraints(
+        self, engine, step: CompiledStep, binding: Dict[str, Any]
+    ) -> Dict[int, Any]:
+        """Build the {position: value} lookup constraints for *step*.
+
+        If any expression constraint fails to evaluate, every expression
+        constraint is dropped and only the variable/constant ones remain:
+        that fallback position set is also pre-registered by the compiler,
+        so the lookup never builds an untracked index inside the evaluation
+        loop.  Dropping constraints is always safe — the surviving rows are
+        filtered by ``_match_atom`` exactly as the naive path would.
+        """
+        constraints: Dict[int, Any] = {}
+        expr_specs = []
+        for spec in step.lookups:
+            if spec.kind == "var":
+                constraints[spec.position] = binding[spec.source]
+            elif spec.kind == "const":
+                constraints[spec.position] = spec.source
+            else:
+                expr_specs.append(spec)
+        for spec in expr_specs:
+            try:
+                value = spec.source.evaluate(binding, engine.functions)
+            except EvaluationError:
+                # The naive path evaluates the expression per row inside
+                # _match_atom and rejects rows on EvaluationError; fall back
+                # to the var/const index so it does the same here.
+                for dropped in expr_specs:
+                    constraints.pop(dropped.position, None)
+                break
+            constraints[spec.position] = value
+        return constraints
+
+    def _apply_literal_prefix(
+        self, engine, binding: Mapping[str, Any], count: int
+    ) -> bool:
+        """Evaluate the first *count* non-atom literals; False prunes.
+
+        Mirrors finalization: literals run in body order against an
+        environment seeded with the atom bindings, assignments overwrite.
+        An EvaluationError stops pushdown (the literal runs again at
+        finalization, which owns error reporting), it never prunes.
+
+        Prefixes are cumulative — step k re-evaluates literals [0, count)
+        rather than slicing from the previous step's count.  That repeats
+        some assignment evaluations on bodies with three or more atoms, but
+        it keeps the environment construction textually identical to
+        finalization's (the equivalence-critical property); the repeated
+        work is bounded by the prefix length, which is zero unless the
+        prefix contains a pruning condition.
+        """
+        env = dict(binding)
+        functions = engine.functions
+        for info in self.literals[:count]:
+            literal = info.literal
+            if isinstance(literal, Assignment):
+                try:
+                    env[literal.variable.name] = literal.expression.evaluate(
+                        env, functions
+                    )
+                except EvaluationError:
+                    return True
+            else:
+                try:
+                    if not literal.expression.evaluate(env, functions):
+                        return False
+                except EvaluationError:
+                    return True
+        return True
+
+
+class PlanCompiler:
+    """Compiles (rule, delta position) pairs into executable plans."""
+
+    def __init__(
+        self,
+        statistics: CatalogStatistics,
+        index_manager: IndexManager,
+        optimizer: Optional[GreedyOptimizer] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.statistics = statistics
+        self.index_manager = index_manager
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(statistics)
+        )
+        self.optimizer = (
+            optimizer if optimizer is not None else GreedyOptimizer(self.cost_model)
+        )
+        self._normalized: Dict[str, Tuple[NormalizedRule, JoinGraph]] = {}
+
+    def _analysis(self, rule: Rule) -> Tuple[NormalizedRule, JoinGraph]:
+        cached = self._normalized.get(rule.label)
+        if cached is not None and cached[0].rule is rule:
+            return cached
+        normalized = normalize_rule(rule)
+        graph = construct_join_graph(normalized)
+        self._normalized[rule.label] = (normalized, graph)
+        return normalized, graph
+
+    def compile(self, rule: Rule, trigger_position: int) -> CompiledDeltaPlan:
+        """Compile the delta plan for *rule* triggered at *trigger_position*."""
+        normalized, graph = self._analysis(rule)
+        trigger = normalized.signature(trigger_position)
+        order: JoinOrder = self.optimizer.order(normalized, graph, trigger_position)
+
+        bound = set(trigger.variables)
+        initial_prefix = self._pruning_prefix(normalized, frozenset(bound))
+        steps: List[CompiledStep] = []
+        for index, ordered in enumerate(order.steps):
+            signature = ordered.signature
+            estimate = ordered.estimate
+            lookups = self._lookup_specs(signature, estimate.bound_positions, bound)
+            index_positions = self.index_manager.require(
+                signature.name, estimate.bound_positions
+            )
+            # Pre-register the fallback index used when an expression
+            # constraint fails to evaluate at runtime (see _constraints), so
+            # that path never lazily builds an untracked index mid-delta.
+            fallback = tuple(
+                spec.position for spec in lookups if spec.kind != "expr"
+            )
+            if fallback and len(fallback) < len(lookups):
+                self.index_manager.require(signature.name, fallback)
+            bound.update(signature.variables)
+            is_last = index == len(order.steps) - 1
+            # Pushdown after the last step buys nothing: finalization runs
+            # immediately afterwards and evaluates every literal anyway.
+            prefix = (
+                0 if is_last else self._pruning_prefix(normalized, frozenset(bound))
+            )
+            steps.append(
+                CompiledStep(
+                    atom=signature.atom,
+                    body_position=signature.position,
+                    lookups=lookups,
+                    index_positions=index_positions,
+                    literal_prefix=prefix,
+                    estimated_rows=estimate.rows,
+                    connected=ordered.connected,
+                    key_covered=estimate.key_covered,
+                )
+            )
+        body_order = tuple(
+            (signature.position, signature.atom)
+            for signature in normalized.atoms
+            if signature.position != trigger_position
+        )
+        snapshot = self.statistics.snapshot(
+            signature.name for signature in normalized.atoms
+        )
+        return CompiledDeltaPlan(
+            rule=rule,
+            trigger_position=trigger_position,
+            trigger_atom=trigger.atom,
+            steps=tuple(steps),
+            initial_literal_prefix=initial_prefix if steps else 0,
+            body_order=body_order,
+            literals=normalized.literals,
+            cardinality_snapshot=snapshot,
+            estimated_scan=order.estimated_scan,
+        )
+
+    @staticmethod
+    def _pruning_prefix(normalized: NormalizedRule, bound: frozenset) -> int:
+        """Evaluable literal prefix, but only when it can actually prune.
+
+        A prefix made solely of assignments never rejects a binding, and
+        finalization re-evaluates every literal anyway — so pushing it down
+        would be pure re-computation.  Only prefixes containing at least one
+        condition are worth evaluating early.
+        """
+        count = normalized.evaluable_literal_prefix(bound)
+        if any(not info.is_assignment for info in normalized.literals[:count]):
+            return count
+        return 0
+
+    def _lookup_specs(
+        self,
+        signature,
+        bound_positions: Tuple[int, ...],
+        bound_vars: set,
+    ) -> Tuple[LookupSpec, ...]:
+        position_to_var: Dict[int, str] = {}
+        for name, positions in signature.var_positions.items():
+            for position in positions:
+                position_to_var[position] = name
+        specs: List[LookupSpec] = []
+        for position in bound_positions:
+            if position in signature.const_positions:
+                specs.append(
+                    LookupSpec(
+                        position=position,
+                        kind="const",
+                        source=signature.const_positions[position],
+                    )
+                )
+            elif position in position_to_var and position_to_var[position] in bound_vars:
+                specs.append(
+                    LookupSpec(
+                        position=position, kind="var", source=position_to_var[position]
+                    )
+                )
+            else:
+                specs.append(
+                    LookupSpec(
+                        position=position,
+                        kind="expr",
+                        source=signature.atom.args[position],
+                    )
+                )
+        return tuple(specs)

@@ -1,0 +1,104 @@
+"""Join graph over a rule's body atoms.
+
+The join graph has one node per body atom and an edge between two atoms for
+every variable they share.  The optimizer walks this graph outward from the
+delta trigger atom: joining along an edge means the next table lookup is
+constrained by already-bound variables, while jumping to a disconnected
+atom is a cross product.  The graph is also the natural place to answer
+"which variables become bound when I add this atom" questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .normalize import NormalizedRule
+
+__all__ = ["JoinEdge", "JoinGraph", "construct_join_graph"]
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An undirected edge: two body atoms sharing one or more variables."""
+
+    left: int
+    right: int
+    variables: FrozenSet[str]
+
+
+class JoinGraph:
+    """Shared-variable graph over the body atoms of one normalized rule."""
+
+    def __init__(self, normalized: NormalizedRule, edges: Iterable[JoinEdge]):
+        self.normalized = normalized
+        self.edges: Tuple[JoinEdge, ...] = tuple(edges)
+        self._adjacency: Dict[int, Set[int]] = {
+            signature.position: set() for signature in normalized.atoms
+        }
+        self._shared: Dict[Tuple[int, int], FrozenSet[str]] = {}
+        for edge in self.edges:
+            self._adjacency[edge.left].add(edge.right)
+            self._adjacency[edge.right].add(edge.left)
+            key = (min(edge.left, edge.right), max(edge.left, edge.right))
+            self._shared[key] = edge.variables
+
+    @property
+    def node_count(self) -> int:
+        return len(self._adjacency)
+
+    def neighbors(self, position: int) -> FrozenSet[int]:
+        return frozenset(self._adjacency[position])
+
+    def shared_variables(self, left: int, right: int) -> FrozenSet[str]:
+        """Variables shared by the two atoms (empty when not adjacent)."""
+        key = (min(left, right), max(left, right))
+        return self._shared.get(key, frozenset())
+
+    def is_connected_to(self, position: int, bound_positions: Iterable[int]) -> bool:
+        """True when *position* shares a variable with any bound atom."""
+        neighbors = self._adjacency[position]
+        return any(bound in neighbors for bound in bound_positions)
+
+    def is_connected(self) -> bool:
+        """True when the whole body is one join component (no cross product)."""
+        return len(self.components()) <= 1
+
+    def components(self) -> List[FrozenSet[int]]:
+        """Connected components, each a frozenset of atom positions."""
+        remaining = set(self._adjacency)
+        result: List[FrozenSet[int]] = []
+        while remaining:
+            start = min(remaining)
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            result.append(frozenset(seen))
+            remaining -= seen
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JoinGraph(nodes={self.node_count}, edges={len(self.edges)})"
+
+
+def construct_join_graph(normalized: NormalizedRule) -> JoinGraph:
+    """Build the shared-variable join graph for *normalized*."""
+    edges: List[JoinEdge] = []
+    atoms = normalized.atoms
+    for i in range(len(atoms)):
+        for j in range(i + 1, len(atoms)):
+            shared = atoms[i].variables & atoms[j].variables
+            if shared:
+                edges.append(
+                    JoinEdge(
+                        left=atoms[i].position,
+                        right=atoms[j].position,
+                        variables=frozenset(shared),
+                    )
+                )
+    return JoinGraph(normalized, edges)

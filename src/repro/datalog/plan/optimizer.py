@@ -1,0 +1,112 @@
+"""Greedy join-order optimizer.
+
+Given a normalized rule, its join graph, and the position of the delta
+trigger atom, :class:`GreedyOptimizer` orders the remaining body atoms by
+repeatedly picking the cheapest next lookup under the variables bound so
+far.  The ranking is lexicographic:
+
+1. atoms connected (by shared variables) to the already-bound set beat
+   disconnected ones — a cross product is only taken when forced;
+2. lower estimated rows (from the :class:`~repro.datalog.plan.cost.CostModel`)
+   beat higher;
+3. more constrained positions beat fewer (useful when tables are still
+   empty at program-load time and all row estimates are zero);
+4. body order breaks remaining ties, keeping plans deterministic.
+
+The result is a :class:`JoinOrder`: the chosen atom sequence with the
+lookup positions and cost estimate recorded per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from .cost import CostEstimate, CostModel
+from .join_graph import JoinGraph
+from .normalize import AtomSignature, NormalizedRule
+
+__all__ = ["OrderedStep", "JoinOrder", "GreedyOptimizer"]
+
+
+@dataclass(frozen=True)
+class OrderedStep:
+    """One entry of a join order: which atom to scan next, and how."""
+
+    signature: AtomSignature
+    estimate: CostEstimate
+    #: True when the atom shares a variable with the atoms joined before it.
+    connected: bool
+
+
+@dataclass(frozen=True)
+class JoinOrder:
+    """The optimizer's output for one (rule, trigger position) pair."""
+
+    trigger_position: int
+    steps: Tuple[OrderedStep, ...]
+    #: estimated total rows scanned across all steps (ordering figure of merit).
+    estimated_scan: float
+
+    @property
+    def positions(self) -> Tuple[int, ...]:
+        return tuple(step.signature.position for step in self.steps)
+
+
+class GreedyOptimizer:
+    """Orders body atoms greedily by estimated lookup cost."""
+
+    def __init__(self, cost_model: CostModel):
+        self.cost_model = cost_model
+
+    def order(
+        self,
+        normalized: NormalizedRule,
+        graph: JoinGraph,
+        trigger_position: int,
+    ) -> JoinOrder:
+        """Choose a join order for a delta arriving at *trigger_position*."""
+        trigger = normalized.signature(trigger_position)
+        bound_vars: Set[str] = set(trigger.variables)
+        bound_atoms: Set[int] = {trigger_position}
+        remaining = [
+            signature
+            for signature in normalized.atoms
+            if signature.position != trigger_position
+        ]
+        steps: List[OrderedStep] = []
+        total = 0.0
+        # Expected number of bindings flowing into the next step: each step's
+        # scan runs once per binding produced upstream.
+        fanout = 1.0
+        while remaining:
+            best = None
+            best_rank = None
+            for signature in remaining:
+                connected = graph.is_connected_to(signature.position, bound_atoms)
+                estimate = self.cost_model.estimate(
+                    signature, frozenset(bound_vars)
+                )
+                rank = (
+                    0 if connected else 1,
+                    estimate.rows,
+                    -len(estimate.bound_positions),
+                    signature.position,
+                )
+                if best_rank is None or rank < best_rank:
+                    best = (signature, estimate, connected)
+                    best_rank = rank
+            signature, estimate, connected = best
+            steps.append(
+                OrderedStep(signature=signature, estimate=estimate, connected=connected)
+            )
+            total += fanout * estimate.rows
+            fanout *= max(estimate.rows, 1.0)
+            bound_vars.update(signature.variables)
+            bound_atoms.add(signature.position)
+            remaining = [s for s in remaining if s.position != signature.position]
+        return JoinOrder(
+            trigger_position=trigger_position,
+            steps=tuple(steps),
+            estimated_scan=total,
+        )

@@ -30,6 +30,7 @@ class StandaloneNetwork:
         program: Optional[Program] = None,
         functions: Optional[FunctionRegistry] = None,
         annotation_policy_factory: Optional[Callable[[Any], Any]] = None,
+        planner: Optional[str] = None,
     ):
         self.engines: Dict[Any, NDlogEngine] = {}
         self._pending: deque[Tuple[Any, Delta]] = deque()
@@ -45,6 +46,7 @@ class StandaloneNetwork:
                 functions=functions.copy() if functions is not None else None,
                 send=self._make_sender(address),
                 annotation_policy=policy,
+                planner=planner,
             )
             self.engines[address] = engine
         if program is not None:
@@ -115,3 +117,9 @@ class StandaloneNetwork:
         for engine in self.engines.values():
             rows.extend(engine.catalog.table(name).rows())
         return sorted(rows, key=repr)
+
+    def planner_stats(self) -> Dict[str, int]:
+        """Aggregated planner / evaluation counters across every engine."""
+        from ..net.stats import aggregate_engine_stats
+
+        return aggregate_engine_stats(engine.stats for engine in self.engines.values())

@@ -73,9 +73,15 @@ def build_network(
     mode: ProvenanceMode,
     seed: int = 0,
     run_to_fixpoint: bool = True,
+    planner: Optional[str] = None,
 ) -> ExspanNetwork:
-    """Build, seed and (optionally) fixpoint an :class:`ExspanNetwork`."""
-    network = ExspanNetwork(topology, program, mode=mode, seed=seed)
+    """Build, seed and (optionally) fixpoint an :class:`ExspanNetwork`.
+
+    ``planner`` selects the per-node evaluation strategy (``"greedy"`` /
+    ``"naive"``); ``None`` uses the process-wide default, which
+    ``repro.experiments.runner --planner`` controls.
+    """
+    network = ExspanNetwork(topology, program, mode=mode, seed=seed, planner=planner)
     network.seed_links()
     if run_to_fixpoint:
         network.run_to_fixpoint()
@@ -303,7 +309,11 @@ def figure_10_pathvector_churn(
 # Figures 11 and 12: query-result caching
 # ---------------------------------------------------------------------- #
 def _query_network(size: int, seed: int) -> ExspanNetwork:
-    """A reference-provenance MINCOST network used by the query experiments."""
+    """A reference-provenance MINCOST network used by the query experiments.
+
+    The evaluation strategy follows the process-wide planner default, which
+    ``repro.experiments.runner --planner`` controls.
+    """
     topology = _size_topology(size, seed)
     return build_network(topology, mincost_program(), ProvenanceMode.REFERENCE, seed=seed)
 

@@ -17,6 +17,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..datalog.engine import PLANNERS, set_default_planner
 from .figures import (
     figure_06_mincost_communication,
     figure_07_pathvector_communication,
@@ -111,7 +112,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-figure output"
     )
+    parser.add_argument(
+        "--planner",
+        choices=PLANNERS,
+        default=None,
+        help="NDlog evaluation strategy for every node: 'greedy' (cost-based "
+        "compiled join plans, the default) or 'naive' (left-to-right "
+        "nested loops, for baseline comparisons)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.planner is not None:
+        set_default_planner(arguments.planner)
     results = run_figures(
         arguments.figure, paper_scale=arguments.paper_scale, verbose=not arguments.quiet
     )

@@ -14,7 +14,15 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["MessageRecord", "TrafficStats", "LatencyStats", "cdf_points"]
+__all__ = [
+    "MessageRecord",
+    "TrafficStats",
+    "LatencyStats",
+    "cdf_points",
+    "ENGINE_COUNTER_KEYS",
+    "aggregate_engine_stats",
+    "render_engine_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -143,6 +151,47 @@ class LatencyStats:
     def cdf(self, points: int = 50) -> List[Tuple[float, float]]:
         """Return ``(latency, cumulative_fraction)`` pairs for plotting."""
         return cdf_points(self._samples, points)
+
+
+#: Engine counters surfaced in benchmark reports, in display order.  The
+#: planner/index counters let reports show *scan-count* reductions (how much
+#: work the cost-based planner saved) rather than just wall-clock times.
+ENGINE_COUNTER_KEYS = (
+    "deltas_processed",
+    "deltas_sent",
+    "deltas_received",
+    "rule_firings",
+    "plans_compiled",
+    "plans_recompiled",
+    "indexes_registered",
+    "index_lookups",
+    "full_scans",
+    "tuples_scanned",
+)
+
+
+def aggregate_engine_stats(
+    stats_maps: Iterable[Dict[str, int]]
+) -> Dict[str, int]:
+    """Sum per-engine counter dicts into one network-wide view.
+
+    Every key appearing in any engine's ``stats`` is summed; the well-known
+    planner/evaluation counters of :data:`ENGINE_COUNTER_KEYS` are always
+    present (zero when untouched) so reports have a stable schema.
+    """
+    totals: Dict[str, int] = {key: 0 for key in ENGINE_COUNTER_KEYS}
+    for stats in stats_maps:
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def render_engine_stats(totals: Dict[str, int]) -> str:
+    """One-line human-readable summary of aggregated engine counters."""
+    parts = [f"{key}={totals[key]}" for key in ENGINE_COUNTER_KEYS if key in totals]
+    extra = sorted(set(totals) - set(ENGINE_COUNTER_KEYS))
+    parts.extend(f"{key}={totals[key]}" for key in extra)
+    return " ".join(parts)
 
 
 def cdf_points(samples: Sequence[float], points: int = 50) -> List[Tuple[float, float]]:
