@@ -1,0 +1,23 @@
+"""Canonical ``sys.path`` bootstrap for running from an uninstalled checkout.
+
+The single source of truth for putting ``src/`` on the import path: the
+repo-root ``conftest.py`` and ``benchmarks/conftest.py`` both import
+:func:`ensure_src_on_path` from here (``pytest.ini``'s ``pythonpath = src``
+covers the common case; the conftests keep invocations with a different
+rootdir working).  Standalone scripts may import it too.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def ensure_src_on_path() -> str:
+    """Prepend ``<repo>/src`` to ``sys.path`` (idempotent); returns the path."""
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+    return SRC

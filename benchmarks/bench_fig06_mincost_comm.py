@@ -1,34 +1,15 @@
-"""Benchmark regenerating Figure 6 of the paper.
-
-Figure 6: average per-node communication cost (MB) for MINCOST vs network size,
+"""Benchmark regenerating Figure 6 of the paper: average per-node communication cost (MB) for MINCOST vs network size,
 for value-based (BDD), reference-based and no provenance.
 
-The benchmark runs the figure's experiment once (simulations are
-deterministic, so repeated timing rounds would only measure the simulator's
-Python overhead), records the reproduced series as extra benchmark info, and
-asserts that the paper's qualitative shape checks hold.
-
-Run with::
+Thin wrapper over the scenario registry: the sweep parameters live on the
+``fig06_mincost_comm`` scenario (``repro.experiments.scenarios``), the benchmark
+body in ``figure_bench.make_figure_benchmark``.  Run with::
 
     pytest benchmarks/bench_fig06_mincost_comm.py --benchmark-only
 """
 
 from __future__ import annotations
 
-from repro.experiments.figures import figure_06_mincost_communication
-from repro.experiments.reporting import check_shape
+from figure_bench import make_figure_benchmark
 
-
-def test_figure_06_mincost_communication(benchmark):
-    result = benchmark.pedantic(
-        lambda: figure_06_mincost_communication(**{}), rounds=1, iterations=1
-    )
-    benchmark.extra_info["figure"] = result.figure_id
-    benchmark.extra_info["series_means"] = {
-        label: round(value, 6) for label, value in result.summary().items()
-    }
-    failed = [description for description, holds in check_shape(result) if not holds]
-    assert not failed, (
-        f"Figure 6: shape checks failed: {failed}; "
-        f"series means: {result.summary()}"
-    )
+test_figure_06_mincost_communication = make_figure_benchmark("fig06_mincost_comm")

@@ -1,33 +1,14 @@
-"""Benchmark regenerating Figure 11 of the paper.
+"""Benchmark regenerating Figure 11 of the paper: provenance query bandwidth with and without result caching.
 
-Figure 11: provenance-query bandwidth with and without distributed result caching.
-
-The benchmark runs the figure's experiment once (simulations are
-deterministic, so repeated timing rounds would only measure the simulator's
-Python overhead), records the reproduced series as extra benchmark info, and
-asserts that the paper's qualitative shape checks hold.
-
-Run with::
+Thin wrapper over the scenario registry: the sweep parameters live on the
+``fig11_caching_bandwidth`` scenario (``repro.experiments.scenarios``), the benchmark
+body in ``figure_bench.make_figure_benchmark``.  Run with::
 
     pytest benchmarks/bench_fig11_query_caching_bandwidth.py --benchmark-only
 """
 
 from __future__ import annotations
 
-from repro.experiments.figures import figure_11_caching_bandwidth
-from repro.experiments.reporting import check_shape
+from figure_bench import make_figure_benchmark
 
-
-def test_figure_11_caching_bandwidth(benchmark):
-    result = benchmark.pedantic(
-        lambda: figure_11_caching_bandwidth(**{}), rounds=1, iterations=1
-    )
-    benchmark.extra_info["figure"] = result.figure_id
-    benchmark.extra_info["series_means"] = {
-        label: round(value, 6) for label, value in result.summary().items()
-    }
-    failed = [description for description, holds in check_shape(result) if not holds]
-    assert not failed, (
-        f"Figure 11: shape checks failed: {failed}; "
-        f"series means: {result.summary()}"
-    )
+test_figure_11_caching_bandwidth = make_figure_benchmark("fig11_caching_bandwidth")

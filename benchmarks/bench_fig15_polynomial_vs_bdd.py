@@ -1,33 +1,14 @@
-"""Benchmark regenerating Figure 15 of the paper.
+"""Benchmark regenerating Figure 15 of the paper: query bandwidth for POLYNOMIAL vs BDD provenance encodings.
 
-Figure 15: query bandwidth for POLYNOMIAL vs BDD (condensed) provenance results.
-
-The benchmark runs the figure's experiment once (simulations are
-deterministic, so repeated timing rounds would only measure the simulator's
-Python overhead), records the reproduced series as extra benchmark info, and
-asserts that the paper's qualitative shape checks hold.
-
-Run with::
+Thin wrapper over the scenario registry: the sweep parameters live on the
+``fig15_polynomial_vs_bdd`` scenario (``repro.experiments.scenarios``), the benchmark
+body in ``figure_bench.make_figure_benchmark``.  Run with::
 
     pytest benchmarks/bench_fig15_polynomial_vs_bdd.py --benchmark-only
 """
 
 from __future__ import annotations
 
-from repro.experiments.figures import figure_15_polynomial_vs_bdd
-from repro.experiments.reporting import check_shape
+from figure_bench import make_figure_benchmark
 
-
-def test_figure_15_polynomial_vs_bdd(benchmark):
-    result = benchmark.pedantic(
-        lambda: figure_15_polynomial_vs_bdd(**{}), rounds=1, iterations=1
-    )
-    benchmark.extra_info["figure"] = result.figure_id
-    benchmark.extra_info["series_means"] = {
-        label: round(value, 6) for label, value in result.summary().items()
-    }
-    failed = [description for description, holds in check_shape(result) if not holds]
-    assert not failed, (
-        f"Figure 15: shape checks failed: {failed}; "
-        f"series means: {result.summary()}"
-    )
+test_figure_15_polynomial_vs_bdd = make_figure_benchmark("fig15_polynomial_vs_bdd")

@@ -1,9 +1,11 @@
 """Benchmark-suite configuration.
 
-The benchmark modules import ``repro`` directly; this conftest adds ``src``
-to ``sys.path`` so the suite also works from an uninstalled checkout (the
-same trick pytest.ini uses for the unit tests, repeated here because the
-benchmarks live outside the configured ``testpaths``).
+The benchmark modules import ``repro`` directly; like the repo-root
+``conftest.py``, this defers to the shared ``_bootstrap.ensure_src_on_path``
+helper (one definition for the whole repo) so the suite also works from an
+uninstalled checkout even when pytest's rootdir is not the repo root (in
+which case neither ``pytest.ini``'s ``pythonpath = src`` nor the root
+conftest applies).
 """
 
 from __future__ import annotations
@@ -11,6 +13,10 @@ from __future__ import annotations
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from _bootstrap import ensure_src_on_path  # noqa: E402
+
+ensure_src_on_path()

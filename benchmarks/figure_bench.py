@@ -1,0 +1,45 @@
+"""Shared factory for the per-figure benchmark wrappers.
+
+Every ``bench_fig*.py`` module is now two lines: a docstring and a call to
+:func:`make_figure_benchmark` with a scenario name from the registry
+(:mod:`repro.experiments.scenarios`).  The factory builds the standard
+benchmark body: run the scenario once at quick scale (simulations are
+deterministic, so repeated timing rounds would only measure the simulator's
+Python overhead), record the reproduced series as extra benchmark info, and
+assert that the paper's qualitative shape checks hold.
+
+Run any wrapper with::
+
+    pytest benchmarks/bench_fig06_mincost_comm.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import check_shape
+from repro.experiments.scenarios import get_scenario, run_figure
+
+__all__ = ["make_figure_benchmark"]
+
+
+def make_figure_benchmark(scenario_name: str):
+    """Build a pytest-benchmark test function for one registered scenario."""
+    get_scenario(scenario_name)  # fail at import time on a bad name
+
+    def benchmark_figure(benchmark):
+        result = benchmark.pedantic(
+            lambda: run_figure(scenario_name), rounds=1, iterations=1
+        )
+        benchmark.extra_info["figure"] = result.figure_id
+        benchmark.extra_info["scenario"] = scenario_name
+        benchmark.extra_info["series_means"] = {
+            label: round(value, 6) for label, value in result.summary().items()
+        }
+        failed = [description for description, holds in check_shape(result) if not holds]
+        assert not failed, (
+            f"{result.figure_id}: shape checks failed: {failed}; "
+            f"series means: {result.summary()}"
+        )
+
+    benchmark_figure.__name__ = f"test_{scenario_name}"
+    benchmark_figure.__doc__ = get_scenario(scenario_name).title
+    return benchmark_figure

@@ -1,0 +1,9 @@
+"""Repo-root pytest configuration: make ``src/`` importable everywhere.
+
+Defers to the shared helper in ``_bootstrap.py`` so the path logic exists
+exactly once (``benchmarks/conftest.py`` imports the same helper).
+"""
+
+from _bootstrap import ensure_src_on_path
+
+ensure_src_on_path()

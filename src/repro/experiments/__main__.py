@@ -1,0 +1,165 @@
+"""``python -m repro.experiments`` — the experiment orchestrator CLI.
+
+Subcommands::
+
+    python -m repro.experiments list                    # registered scenarios
+    python -m repro.experiments run --all --quick --workers 4
+    python -m repro.experiments run 6 7 planner_ablation --paper
+    python -m repro.experiments compare benchmarks/baselines results
+
+``run`` writes one schema-versioned artifact per scenario
+(``results/BENCH_<scenario>.json``); re-runs reuse trials whose stored
+fingerprint still matches (``--no-resume`` forces re-execution).  A run is
+deterministic: any ``--workers`` value produces byte-identical artifacts.
+
+``compare`` diffs two artifact directories on the planner/traffic counters
+and exits non-zero on regressions beyond ``--threshold`` — the CI bench
+job runs it against the committed baselines under ``benchmarks/baselines/``.
+
+The legacy per-figure report (tables plus the paper's qualitative shape
+checks) remains available as ``python -m repro.experiments.runner``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..datalog.engine import PLANNERS
+from .orchestrator import (
+    DEFAULT_RESULTS_DIR,
+    compare,
+    run,
+    strict_compare,
+)
+from .scenarios import SCENARIOS
+
+__all__ = ["main"]
+
+
+def _cmd_list(arguments: argparse.Namespace) -> int:
+    scale = "paper" if arguments.paper else "quick"
+    print(f"{len(SCENARIOS)} registered scenario(s) ({scale} scale):")
+    for scenario in SCENARIOS.values():
+        figure = f"Figure {scenario.figure}" if scenario.figure else "registry-only"
+        trial_count = len(scenario.trials(scale))
+        print(f"  {scenario.name:<28} {figure:<14} {trial_count:>3} trial(s)")
+        if arguments.verbose and scenario.description:
+            print(f"      {scenario.description}")
+    return 0
+
+
+def _cmd_run(arguments: argparse.Namespace) -> int:
+    names = arguments.scenarios or None
+    if arguments.all:
+        names = None
+    elif not names:
+        print("run: select scenarios (names or figure numbers) or pass --all")
+        return 2
+    try:
+        report = run(
+            names,
+            scale="paper" if arguments.paper else "quick",
+            workers=arguments.workers,
+            results_dir=arguments.results_dir,
+            resume=not arguments.no_resume,
+            planner=arguments.planner,
+            verbose=arguments.verbose,
+        )
+    except KeyError as error:
+        # Unknown scenario name / figure number: an error line, not a trace.
+        print(f"run: error: {error.args[0] if error.args else error}")
+        return 2
+    print(report.render())
+    return 0
+
+
+def _cmd_compare(arguments: argparse.Namespace) -> int:
+    report = compare(
+        arguments.baseline,
+        arguments.candidate,
+        threshold=arguments.threshold,
+    )
+    print(report.render())
+    status = 0 if report.ok else 1
+    if arguments.strict:
+        mismatched = strict_compare(arguments.baseline, arguments.candidate)
+        if mismatched:
+            print(f"  STRICT: {len(mismatched)} artifact(s) not byte-identical:")
+            for name in mismatched:
+                print(f"    {name}")
+            status = 1
+        else:
+            print("  STRICT: all artifacts byte-identical")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--paper", action="store_true", help="paper-scale counts")
+    list_parser.add_argument("--verbose", action="store_true", help="show descriptions")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = commands.add_parser("run", help="run scenarios, write artifacts")
+    run_parser.add_argument(
+        "scenarios", nargs="*",
+        help="scenario names or figure numbers (e.g. fig09_mincost_churn, 6, 17)",
+    )
+    run_parser.add_argument("--all", action="store_true", help="run every scenario")
+    scale = run_parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick", action="store_true", help="CI/laptop parameters (default)"
+    )
+    scale.add_argument(
+        "--paper", action="store_true", help="the paper's sweep sizes (slow)"
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (default 1; any value is byte-identical)",
+    )
+    run_parser.add_argument(
+        "--results-dir", default=DEFAULT_RESULTS_DIR,
+        help=f"artifact directory (default: {DEFAULT_RESULTS_DIR}/)",
+    )
+    run_parser.add_argument(
+        "--no-resume", action="store_true",
+        help="re-execute trials even when a fresh artifact exists",
+    )
+    run_parser.add_argument(
+        "--planner", choices=PLANNERS, default=None,
+        help="force an NDlog evaluation strategy into every trial",
+    )
+    run_parser.add_argument("--verbose", action="store_true")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = commands.add_parser(
+        "compare", help="diff two artifact directories; exit 1 on regressions"
+    )
+    compare_parser.add_argument("baseline", help="baseline artifact directory")
+    compare_parser.add_argument("candidate", help="candidate artifact directory")
+    compare_parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative regression threshold (default 0.05 = 5%%)",
+    )
+    compare_parser.add_argument(
+        "--strict", action="store_true",
+        help="also require byte-identical artifacts (determinism check)",
+    )
+    compare_parser.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,12 +1,18 @@
-"""Per-figure experiment runners.
+"""Per-figure experiment runners (thin wrappers over the scenario registry).
 
 Each ``figure_XX`` function reproduces one figure of the paper's evaluation
 (Section 7) and returns a :class:`~repro.experiments.metrics.FigureResult`
-whose series mirror the curves of the original plot.  Default parameters are
-scaled down from the paper's 100-500 node simulations so the whole suite
-runs in minutes of wall-clock time on a laptop; every runner accepts the
-paper's sizes through its arguments, and EXPERIMENTS.md records the
-configuration actually used together with the paper-vs-measured comparison.
+whose series mirror the curves of the original plot.  Since the scenario
+registry refactor, these functions are one-liners: the sweep axes and
+default parameters live in :mod:`repro.experiments.scenarios` (``quick``
+scale = the laptop-sized defaults below, ``paper`` scale = the paper's own
+100-500 node sweeps), the per-trial measurement code in
+:mod:`repro.experiments.trials`, and the parallel runner with its artifact
+store in :mod:`repro.experiments.orchestrator`.
+
+Keyword arguments override the scenario's quick-scale parameters, e.g.
+``figure_17_testbed_fixpoint(sizes=(6, 10))`` or
+``figure_13_traversal_bandwidth(grid_side=3, duration=0.5)``.
 
 The provenance-mode labels follow the figures: ``"No Prov."``,
 ``"Ref-based Prov."`` and ``"Value-based Prov. (BDD)"``.
@@ -14,29 +20,16 @@ The provenance-mode labels follow the figures: ``"No Prov."``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, List
 
-from ..core.api import DELTA_MESSAGE_KIND, ExspanNetwork
-from ..core.customizations import (
-    bdd_query,
-    derivation_count_query,
-    polynomial_query,
-)
-from ..core.modes import ProvenanceMode
-from ..core.query import TraversalOrder
-from ..datalog.ast import Program
-from ..net.stats import cdf_points
-from ..net.topology import Topology, grid_topology, ring_topology, transit_stub_topology
-from ..protocols.mincost import mincost_program
-from ..protocols.packetforward import packetforward_program
-from ..protocols.pathvector import pathvector_program
 from .metrics import FigureResult
-from .workloads import PacketWorkload, QueryWorkload, make_churn
+from .scenarios import figure_scenarios, run_figure
+from .trials import MODE_LABELS, build_network, size_topology
 
 __all__ = [
     "MODE_LABELS",
     "build_network",
+    "size_topology",
     "figure_06_mincost_communication",
     "figure_07_pathvector_communication",
     "figure_08_packetforward_bandwidth",
@@ -52,538 +45,76 @@ __all__ = [
     "all_figures",
 ]
 
-#: Figure legend labels, in the order the paper lists them.
-MODE_LABELS: Dict[ProvenanceMode, str] = {
-    ProvenanceMode.VALUE: "Value-based Prov. (BDD)",
-    ProvenanceMode.REFERENCE: "Ref-based Prov.",
-    ProvenanceMode.NONE: "No Prov.",
-}
-
-#: The three curves shown in the maintenance-overhead figures.
-_MAINTENANCE_MODES = (
-    ProvenanceMode.VALUE,
-    ProvenanceMode.REFERENCE,
-    ProvenanceMode.NONE,
-)
+#: Backwards-compatible alias (pre-registry name, used by existing tests).
+_size_topology = size_topology
 
 
-def build_network(
-    topology: Topology,
-    program: Program,
-    mode: ProvenanceMode,
-    seed: int = 0,
-    run_to_fixpoint: bool = True,
-    planner: Optional[str] = None,
-) -> ExspanNetwork:
-    """Build, seed and (optionally) fixpoint an :class:`ExspanNetwork`.
-
-    ``planner`` selects the per-node evaluation strategy (``"greedy"`` /
-    ``"naive"``); ``None`` uses the process-wide default, which
-    ``repro.experiments.runner --planner`` controls.
-    """
-    network = ExspanNetwork(topology, program, mode=mode, seed=seed, planner=planner)
-    network.seed_links()
-    if run_to_fixpoint:
-        network.run_to_fixpoint()
-    return network
-
-
-def _sweep_sizes(sizes: Optional[Sequence[int]], default: Sequence[int]) -> List[int]:
-    return list(sizes) if sizes is not None else list(default)
-
-
-def _size_topology(size: int, seed: int) -> Topology:
-    """A connected topology of roughly *size* nodes in the transit-stub style.
-
-    For sizes below 100 (one GT-ITM domain) the generator is scaled down by
-    shrinking the per-stub node count so that small benchmark runs keep the
-    transit/stub structure; at 100 nodes and above the paper's exact
-    parameters are used and the size is swept by adding domains.
-    """
-    if size >= 100:
-        domains = max(1, round(size / 100))
-        return transit_stub_topology(domains=domains, seed=seed)
-    nodes_per_stub = max(2, round(size / 12))
-    return transit_stub_topology(
-        domains=1,
-        transit_per_domain=4,
-        stubs_per_transit=3,
-        nodes_per_stub=nodes_per_stub,
-        seed=seed,
-    )
-
-
-# ---------------------------------------------------------------------- #
-# Figures 6 and 7: communication cost to fixpoint vs network size
-# ---------------------------------------------------------------------- #
-def _communication_figure(
-    figure_id: str,
-    title: str,
-    program_factory: Callable[[], Program],
-    sizes: Sequence[int],
-    seed: int,
-) -> FigureResult:
-    result = FigureResult(
-        figure_id=figure_id,
-        title=title,
-        x_label="Number of Nodes",
-        y_label="Average Comm. Cost (MB)",
-    )
-    for size in sizes:
-        for mode in _MAINTENANCE_MODES:
-            topology = _size_topology(size, seed)
-            network = build_network(topology, program_factory(), mode, seed=seed)
-            per_node_mb = network.average_maintenance_bytes_per_node() / 1e6
-            result.add_point(MODE_LABELS[mode], topology.node_count(), per_node_mb)
-    return result
-
-
-def figure_06_mincost_communication(
-    sizes: Optional[Sequence[int]] = None, seed: int = 0
-) -> FigureResult:
+def figure_06_mincost_communication(**overrides: Any) -> FigureResult:
     """Figure 6: average per-node communication cost (MB) for MINCOST."""
-    return _communication_figure(
-        "Figure 6",
-        "Average communication cost for MINCOST",
-        mincost_program,
-        _sweep_sizes(sizes, (16, 32, 48, 64)),
-        seed,
-    )
+    return run_figure("fig06_mincost_comm", **overrides)
 
 
-def figure_07_pathvector_communication(
-    sizes: Optional[Sequence[int]] = None, seed: int = 0
-) -> FigureResult:
+def figure_07_pathvector_communication(**overrides: Any) -> FigureResult:
     """Figure 7: average per-node communication cost (MB) for PATHVECTOR."""
-    return _communication_figure(
-        "Figure 7",
-        "Average communication cost for PATHVECTOR",
-        pathvector_program,
-        _sweep_sizes(sizes, (16, 32, 48)),
-        seed,
-    )
+    return run_figure("fig07_pathvector_comm", **overrides)
 
 
-# ---------------------------------------------------------------------- #
-# Figure 8: data-plane bandwidth over time (PACKETFORWARD)
-# ---------------------------------------------------------------------- #
-def figure_08_packetforward_bandwidth(
-    size: int = 24,
-    packets_per_second: float = 20.0,
-    payload_bytes: int = 1024,
-    duration: float = 2.0,
-    bucket: float = 0.25,
-    seed: int = 0,
-) -> FigureResult:
+def figure_08_packetforward_bandwidth(**overrides: Any) -> FigureResult:
     """Figure 8: average bandwidth (MBps) for PACKETFORWARD over time."""
-    result = FigureResult(
-        figure_id="Figure 8",
-        title="Average bandwidth for PACKETFORWARD (data plane)",
-        x_label="Time (seconds)",
-        y_label="Average Bandwidth (MBps)",
-    )
-    for mode in _MAINTENANCE_MODES:
-        topology = _size_topology(size, seed)
-        program = pathvector_program().extended(packetforward_program(), "pv+fwd")
-        network = build_network(topology, program, mode, seed=seed)
-        control_plane_end = network.now
-        network.stats.reset()
-        workload = PacketWorkload(
-            network,
-            payload_bytes=payload_bytes,
-            packets_per_second=packets_per_second,
-            duration=duration,
-            seed=seed,
-        )
-        workload.run()
-        series = network.stats.bandwidth_timeseries(
-            bucket,
-            network.node_count,
-            start=control_plane_end,
-            end=control_plane_end + duration,
-            kinds=[DELTA_MESSAGE_KIND],
-        )
-        for time, bytes_per_second in series:
-            result.add_point(
-                MODE_LABELS[mode], round(time - control_plane_end, 6), bytes_per_second / 1e6
-            )
-        result.notes[f"{MODE_LABELS[mode]} delivered"] = workload.delivered()
-    return result
+    return run_figure("fig08_packetforward_bandwidth", **overrides)
 
 
-# ---------------------------------------------------------------------- #
-# Figures 9 and 10: maintenance bandwidth under churn
-# ---------------------------------------------------------------------- #
-def _churn_figure(
-    figure_id: str,
-    title: str,
-    program_factory: Callable[[], Program],
-    size: int,
-    rounds: int,
-    links_per_round: int,
-    interval: float,
-    bucket: float,
-    seed: int,
-) -> FigureResult:
-    result = FigureResult(
-        figure_id=figure_id,
-        title=title,
-        x_label="Time (seconds)",
-        y_label="Average Bandwidth (MBps)",
-    )
-    for mode in _MAINTENANCE_MODES:
-        topology = _size_topology(size, seed)
-        network = build_network(topology, program_factory(), mode, seed=seed)
-        start = network.now
-        network.stats.reset()
-        churn = make_churn(
-            network, links_per_round=links_per_round, interval=interval, seed=seed
-        )
-        churn.start(rounds=rounds, first_delay=interval)
-        network.simulator.run_until_idle()
-        duration = rounds * interval + interval
-        series = network.stats.bandwidth_timeseries(
-            bucket,
-            network.node_count,
-            start=start,
-            end=start + duration,
-            kinds=[DELTA_MESSAGE_KIND],
-        )
-        for time, bytes_per_second in series:
-            result.add_point(MODE_LABELS[mode], round(time - start, 6), bytes_per_second / 1e6)
-        result.notes[f"{MODE_LABELS[mode]} churn events"] = len(churn.events)
-    return result
-
-
-def figure_09_mincost_churn(
-    size: int = 36,
-    rounds: int = 4,
-    links_per_round: int = 4,
-    interval: float = 0.5,
-    bucket: float = 0.25,
-    seed: int = 0,
-    max_cost: int = 16,
-) -> FigureResult:
+def figure_09_mincost_churn(**overrides: Any) -> FigureResult:
     """Figure 9: MINCOST maintenance bandwidth under stub-link churn.
 
     The churn workload can temporarily disconnect destinations, so MINCOST
     runs with a RIP-style maximum cost (``max_cost``) to bound the
     count-to-infinity recomputation a plain distance-vector suffers.
     """
-    return _churn_figure(
-        "Figure 9",
-        "Average bandwidth for MINCOST under churn",
-        lambda: mincost_program(max_cost=max_cost),
-        size,
-        rounds,
-        links_per_round,
-        interval,
-        bucket,
-        seed,
-    )
+    return run_figure("fig09_mincost_churn", **overrides)
 
 
-def figure_10_pathvector_churn(
-    size: int = 36,
-    rounds: int = 4,
-    links_per_round: int = 4,
-    interval: float = 0.5,
-    bucket: float = 0.25,
-    seed: int = 0,
-) -> FigureResult:
+def figure_10_pathvector_churn(**overrides: Any) -> FigureResult:
     """Figure 10: PATHVECTOR maintenance bandwidth under stub-link churn."""
-    return _churn_figure(
-        "Figure 10",
-        "Average bandwidth for PATHVECTOR under churn",
-        pathvector_program,
-        size,
-        rounds,
-        links_per_round,
-        interval,
-        bucket,
-        seed,
-    )
+    return run_figure("fig10_pathvector_churn", **overrides)
 
 
-# ---------------------------------------------------------------------- #
-# Figures 11 and 12: query-result caching
-# ---------------------------------------------------------------------- #
-def _query_network(size: int, seed: int) -> ExspanNetwork:
-    """A reference-provenance MINCOST network used by the query experiments.
-
-    The evaluation strategy follows the process-wide planner default, which
-    ``repro.experiments.runner --planner`` controls.
-    """
-    topology = _size_topology(size, seed)
-    return build_network(topology, mincost_program(), ProvenanceMode.REFERENCE, seed=seed)
-
-
-def _grid_query_network(side: int, seed: int) -> ExspanNetwork:
-    """A grid-topology MINCOST network with abundant equal-cost multipaths.
-
-    The paper's 100-node transit-stub networks give ``bestPathCost`` tuples
-    roughly three alternative derivations on average; our scaled-down
-    transit-stub defaults are too sparse for that, so the traversal-order
-    experiments (Figures 13 / 14) run MINCOST on a grid, where equal-cost
-    shortest paths make multi-derivation tuples the common case.
-    """
-    topology = grid_topology(side, side)
-    return build_network(topology, mincost_program(), ProvenanceMode.REFERENCE, seed=seed)
-
-
-def _run_query_workload(
-    network: ExspanNetwork,
-    spec,
-    queries_per_second: float,
-    duration: float,
-    seed: int,
-) -> QueryWorkload:
-    network.stats.reset()
-    workload = QueryWorkload(
-        network,
-        spec,
-        queries_per_second=queries_per_second,
-        duration=duration,
-        seed=seed,
-    )
-    workload.run()
-    return workload
-
-
-def figure_11_caching_bandwidth(
-    size: int = 48,
-    queries_per_second: float = 5.0,
-    duration: float = 2.0,
-    bucket: float = 0.25,
-    seed: int = 0,
-) -> FigureResult:
+def figure_11_caching_bandwidth(**overrides: Any) -> FigureResult:
     """Figure 11: per-node query bandwidth with and without result caching."""
-    result = FigureResult(
-        figure_id="Figure 11",
-        title="Provenance query bandwidth with and without caching",
-        x_label="Time (seconds)",
-        y_label="Average Bandwidth (KBps)",
-    )
-    for label, spec_name, use_cache in (
-        ("Without caching", "polync", False),
-        ("With caching", "polywc", True),
-    ):
-        network = _query_network(size, seed)
-        spec = polynomial_query(name=spec_name, use_cache=use_cache)
-        workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
-        series = network.stats.bandwidth_timeseries(
-            bucket, network.node_count, start=0.0, end=duration, kinds=["prov"]
-        )
-        for time, bytes_per_second in series:
-            result.add_point(label, time, bytes_per_second / 1e3)
-        result.notes[f"{label} queries"] = len(workload.outcomes)
-        result.notes[f"{label} cache"] = network.cache_stats()
-    return result
+    return run_figure("fig11_caching_bandwidth", **overrides)
 
 
-def figure_12_caching_latency(
-    size: int = 48,
-    queries_per_second: float = 5.0,
-    duration: float = 2.0,
-    cdf_samples: int = 20,
-    seed: int = 0,
-) -> FigureResult:
+def figure_12_caching_latency(**overrides: Any) -> FigureResult:
     """Figure 12: CDF of query completion latency with and without caching."""
-    result = FigureResult(
-        figure_id="Figure 12",
-        title="Query completion latency CDF with and without caching",
-        x_label="Query Completion Time (seconds)",
-        y_label="Cumulative Fraction",
-    )
-    for label, spec_name, use_cache in (
-        ("With caching", "polywc", True),
-        ("Without caching", "polync", False),
-    ):
-        network = _query_network(size, seed)
-        spec = polynomial_query(name=spec_name, use_cache=use_cache)
-        workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
-        latencies = [outcome.latency for outcome in workload.outcomes]
-        for value, fraction in cdf_points(latencies, cdf_samples):
-            result.add_point(label, round(value, 6), fraction)
-        stats = workload.latency_stats()
-        result.notes[f"{label} median (s)"] = round(stats.percentile(0.5), 6)
-        result.notes[f"{label} p80 (s)"] = round(stats.percentile(0.8), 6)
-    return result
+    return run_figure("fig12_caching_latency", **overrides)
 
 
-# ---------------------------------------------------------------------- #
-# Figures 13 and 14: query traversal orders
-# ---------------------------------------------------------------------- #
-def _traversal_specs(threshold: int):
-    # Equal-length spec names so that message-size accounting is identical
-    # across traversal strategies (the spec name travels in each query).
-    return (
-        ("BFS", derivation_count_query(name="dcbfs", traversal=TraversalOrder.BFS)),
-        ("DFS", derivation_count_query(name="dcdfs", traversal=TraversalOrder.DFS)),
-        (
-            "DFS-Threshold",
-            derivation_count_query(
-                name="dcthr",
-                traversal=TraversalOrder.DFS_THRESHOLD,
-                threshold=threshold,
-            ),
-        ),
-    )
-
-
-def figure_13_traversal_bandwidth(
-    grid_side: int = 5,
-    queries_per_second: float = 5.0,
-    duration: float = 2.0,
-    bucket: float = 0.25,
-    threshold: int = 3,
-    seed: int = 0,
-) -> FigureResult:
+def figure_13_traversal_bandwidth(**overrides: Any) -> FigureResult:
     """Figure 13: #DERIVATION query bandwidth under BFS / DFS / DFS-threshold."""
-    result = FigureResult(
-        figure_id="Figure 13",
-        title="Query bandwidth for different traversal orders",
-        x_label="Time (seconds)",
-        y_label="Average Bandwidth (KBps)",
-    )
-    for label, spec in _traversal_specs(threshold):
-        network = _grid_query_network(grid_side, seed)
-        workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
-        series = network.stats.bandwidth_timeseries(
-            bucket, network.node_count, start=0.0, end=duration, kinds=["prov"]
-        )
-        for time, bytes_per_second in series:
-            result.add_point(label, time, bytes_per_second / 1e3)
-        result.notes[f"{label} total KB"] = round(network.query_bytes() / 1e3, 3)
-        result.notes[f"{label} queries"] = len(workload.outcomes)
-    return result
+    return run_figure("fig13_traversal_bandwidth", **overrides)
 
 
-def figure_14_traversal_latency(
-    grid_side: int = 5,
-    queries_per_second: float = 5.0,
-    duration: float = 2.0,
-    cdf_samples: int = 20,
-    threshold: int = 3,
-    seed: int = 0,
-) -> FigureResult:
+def figure_14_traversal_latency(**overrides: Any) -> FigureResult:
     """Figure 14: CDF of query latency under BFS / DFS / DFS-threshold."""
-    result = FigureResult(
-        figure_id="Figure 14",
-        title="Query completion latency CDF for different traversal orders",
-        x_label="Query Completion Latency (seconds)",
-        y_label="Cumulative Fraction",
-    )
-    for label, spec in _traversal_specs(threshold):
-        network = _grid_query_network(grid_side, seed)
-        workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
-        latencies = [outcome.latency for outcome in workload.outcomes]
-        for value, fraction in cdf_points(latencies, cdf_samples):
-            result.add_point(label, round(value, 6), fraction)
-        stats = workload.latency_stats()
-        result.notes[f"{label} p80 (s)"] = round(stats.percentile(0.8), 6)
-    return result
+    return run_figure("fig14_traversal_latency", **overrides)
 
 
-# ---------------------------------------------------------------------- #
-# Figure 15: polynomial vs BDD query representations
-# ---------------------------------------------------------------------- #
-def figure_15_polynomial_vs_bdd(
-    size: int = 48,
-    queries_per_second: float = 5.0,
-    duration: float = 2.0,
-    bucket: float = 0.25,
-    seed: int = 0,
-) -> FigureResult:
+def figure_15_polynomial_vs_bdd(**overrides: Any) -> FigureResult:
     """Figure 15: query bandwidth for POLYNOMIAL vs BDD provenance encoding."""
-    result = FigureResult(
-        figure_id="Figure 15",
-        title="Query bandwidth for POLYNOMIAL vs BDD",
-        x_label="Time (seconds)",
-        y_label="Average Bandwidth (KBps)",
-    )
-    # Equal-length spec names keep the per-message framing identical.
-    specs = (
-        ("Polynomial", polynomial_query(name="f15poly")),
-        ("BDD", bdd_query(name="f15bddq")),
-    )
-    for label, spec in specs:
-        network = _query_network(size, seed)
-        workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
-        series = network.stats.bandwidth_timeseries(
-            bucket, network.node_count, start=0.0, end=duration, kinds=["prov"]
-        )
-        for time, bytes_per_second in series:
-            result.add_point(label, time, bytes_per_second / 1e3)
-        result.notes[f"{label} total KB"] = round(network.query_bytes() / 1e3, 3)
-        result.notes[f"{label} mean latency (s)"] = round(
-            workload.latency_stats().mean(), 6
-        )
-    return result
+    return run_figure("fig15_polynomial_vs_bdd", **overrides)
 
 
-# ---------------------------------------------------------------------- #
-# Figures 16 and 17: "testbed" deployment (ring + random peer)
-# ---------------------------------------------------------------------- #
-def figure_16_testbed_bandwidth(
-    size: int = 40,
-    bucket: float = 0.002,
-    seed: int = 0,
-) -> FigureResult:
+def figure_16_testbed_bandwidth(**overrides: Any) -> FigureResult:
     """Figure 16: PATHVECTOR bandwidth over time on the testbed topology."""
-    result = FigureResult(
-        figure_id="Figure 16",
-        title="PATHVECTOR bandwidth on the testbed topology",
-        x_label="Time (seconds)",
-        y_label="Average Bandwidth (KBps)",
-    )
-    for mode in _MAINTENANCE_MODES:
-        topology = ring_topology(size, seed=seed)
-        network = build_network(topology, pathvector_program(), mode, seed=seed)
-        end = max(network.now, bucket)
-        series = network.stats.bandwidth_timeseries(
-            bucket, network.node_count, start=0.0, end=end, kinds=[DELTA_MESSAGE_KIND]
-        )
-        for time, bytes_per_second in series:
-            result.add_point(MODE_LABELS[mode], round(time, 6), bytes_per_second / 1e3)
-        result.notes[f"{MODE_LABELS[mode]} total KB per node"] = round(
-            network.average_maintenance_bytes_per_node() / 1e3, 3
-        )
-    return result
+    return run_figure("fig16_testbed_bandwidth", **overrides)
 
 
-def figure_17_testbed_fixpoint(
-    sizes: Optional[Sequence[int]] = None, seed: int = 0
-) -> FigureResult:
+def figure_17_testbed_fixpoint(**overrides: Any) -> FigureResult:
     """Figure 17: PATHVECTOR fixpoint latency vs testbed network size."""
-    result = FigureResult(
-        figure_id="Figure 17",
-        title="PATHVECTOR fixpoint latency on the testbed topology",
-        x_label="Number of Nodes",
-        y_label="Fixpoint Latency (seconds)",
-    )
-    for size in _sweep_sizes(sizes, (10, 20, 30, 40)):
-        for mode in _MAINTENANCE_MODES:
-            topology = ring_topology(size, seed=seed)
-            network = build_network(topology, pathvector_program(), mode, seed=seed)
-            result.add_point(MODE_LABELS[mode], size, network.now)
-    return result
+    return run_figure("fig17_testbed_fixpoint", **overrides)
 
 
 def all_figures(fast: bool = True) -> List[FigureResult]:
-    """Run every figure with (fast) default parameters and return the results."""
-    runners: List[Callable[[], FigureResult]] = [
-        figure_06_mincost_communication,
-        figure_07_pathvector_communication,
-        figure_08_packetforward_bandwidth,
-        figure_09_mincost_churn,
-        figure_10_pathvector_churn,
-        figure_11_caching_bandwidth,
-        figure_12_caching_latency,
-        figure_13_traversal_bandwidth,
-        figure_14_traversal_latency,
-        figure_15_polynomial_vs_bdd,
-        figure_16_testbed_bandwidth,
-        figure_17_testbed_fixpoint,
-    ]
-    return [runner() for runner in runners]
+    """Run every figure scenario serially and return the results."""
+    scale = "quick" if fast else "paper"
+    return [run_figure(scenario.name, scale=scale) for scenario in figure_scenarios()]

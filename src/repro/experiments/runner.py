@@ -1,4 +1,4 @@
-"""Command-line entry point for the experiment harness.
+"""Command-line entry point for the per-figure report harness.
 
 Run all figures (or a selection) and print the reproduced series together
 with the qualitative shape checks against the paper::
@@ -7,7 +7,12 @@ with the qualitative shape checks against the paper::
     python -m repro.experiments.runner --figure 6 7    # just Figures 6 and 7
     python -m repro.experiments.runner --paper-scale   # paper-sized sweeps (slow)
 
-The same runners back the pytest-benchmark suite in ``benchmarks/``.
+This module is a thin wrapper over the scenario registry
+(:mod:`repro.experiments.scenarios`); the same registry backs the parallel
+orchestrator CLI (``python -m repro.experiments run|list|compare``), which
+additionally fans trials across a process pool and writes versioned
+``BENCH_*.json`` artifacts.  Use the orchestrator for evidence runs and the
+CI regression gate; use this runner for a human-readable report.
 """
 
 from __future__ import annotations
@@ -34,9 +39,13 @@ from .figures import (
 )
 from .metrics import FigureResult
 from .reporting import check_shape, render_report
+from .scenarios import figure_scenarios, run_figure, scenario_for_figure
 
 __all__ = ["FIGURE_RUNNERS", "run_figures", "main"]
 
+#: Figure number -> quick-scale runner, in figure order.  A compatibility
+#: view for library callers; :func:`run_figures` resolves figures through
+#: the scenario registry (the single source of truth), not this dict.
 FIGURE_RUNNERS: Dict[str, Callable[..., FigureResult]] = {
     "6": figure_06_mincost_communication,
     "7": figure_07_pathvector_communication,
@@ -52,22 +61,6 @@ FIGURE_RUNNERS: Dict[str, Callable[..., FigureResult]] = {
     "17": figure_17_testbed_fixpoint,
 }
 
-#: Overrides used with ``--paper-scale`` (the paper's own sweep parameters).
-PAPER_SCALE_KWARGS: Dict[str, dict] = {
-    "6": {"sizes": (100, 200, 300, 400, 500)},
-    "7": {"sizes": (100, 200, 300, 400, 500)},
-    "8": {"size": 200, "packets_per_second": 100.0, "duration": 4.5},
-    "9": {"size": 200, "rounds": 5, "links_per_round": 10},
-    "10": {"size": 200, "rounds": 5, "links_per_round": 10},
-    "11": {"size": 100, "duration": 6.0},
-    "12": {"size": 100, "duration": 6.0},
-    "13": {"grid_side": 10, "duration": 6.0},
-    "14": {"grid_side": 10, "duration": 6.0},
-    "15": {"size": 100, "duration": 6.0},
-    "16": {"size": 40},
-    "17": {"sizes": (5, 10, 15, 20, 25, 30, 35, 40)},
-}
-
 
 def run_figures(
     figure_ids: Optional[Sequence[str]] = None,
@@ -75,15 +68,18 @@ def run_figures(
     verbose: bool = True,
 ) -> List[FigureResult]:
     """Run the selected figures (all by default) and return their results."""
-    selected = list(figure_ids) if figure_ids else list(FIGURE_RUNNERS)
+    if figure_ids:
+        selected = list(figure_ids)
+    else:
+        selected = [scenario.figure for scenario in figure_scenarios()]
     results: List[FigureResult] = []
     for figure_id in selected:
-        runner = FIGURE_RUNNERS.get(str(figure_id))
-        if runner is None:
-            raise KeyError(f"unknown figure id {figure_id!r}")
-        kwargs = PAPER_SCALE_KWARGS.get(str(figure_id), {}) if paper_scale else {}
+        try:
+            scenario = scenario_for_figure(str(figure_id))
+        except KeyError:
+            raise KeyError(f"unknown figure id {figure_id!r}") from None
         started = time.time()
-        result = runner(**kwargs)
+        result = run_figure(scenario.name, scale="paper" if paper_scale else "quick")
         elapsed = time.time() - started
         result.notes["wall-clock seconds"] = round(elapsed, 2)
         results.append(result)

@@ -1,0 +1,635 @@
+"""Atomic experiment trials: the units the orchestrator fans out.
+
+A *trial* is the smallest independently runnable unit of the paper's
+evaluation: one network build plus one workload plus one measurement, e.g.
+"MINCOST on a 32-node transit-stub topology with reference provenance".
+Every figure of Section 7 decomposes into a handful of such trials (one per
+(size, provenance-mode) or per query-strategy variant), which is what lets
+:mod:`repro.experiments.orchestrator` run a whole evidence sweep across a
+process pool: trials share no state, so they parallelize perfectly and a
+parallel run is byte-identical to a serial one.
+
+Contract for every ``*_trial`` function here:
+
+* module-level and picklable (workers import this module and look the
+  function up in :data:`TRIAL_FUNCTIONS` by name);
+* keyword arguments are JSON-serializable scalars (the orchestrator stores
+  them verbatim in the artifact and fingerprints them for resume);
+* deterministic: same kwargs, same result, in any process;
+* returns a plain-dict :func:`trial_result` with the measured series, notes,
+  planner counters and traffic counters.
+
+The provenance modes travel as short strings (``"value"``, ``"ref"``,
+``"none"``) and are mapped to :class:`~repro.core.modes.ProvenanceMode` and
+to the paper's legend labels here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.api import DELTA_MESSAGE_KIND, ExspanNetwork
+from ..core.customizations import (
+    bdd_query,
+    derivation_count_query,
+    polynomial_query,
+)
+from ..core.modes import ProvenanceMode
+from ..core.query import TraversalOrder
+from ..datalog import Fact, StandaloneNetwork
+from ..datalog.ast import Program
+from ..net.stats import cdf_points
+from ..net.topology import (
+    Topology,
+    grid_topology,
+    ring_topology,
+    transit_stub_topology,
+)
+from ..protocols.mincost import mincost_program
+from ..protocols.packetforward import packetforward_program
+from ..protocols.pathvector import pathvector_program
+from .workloads import PacketWorkload, QueryWorkload, make_churn
+
+__all__ = [
+    "MODE_KEYS",
+    "MODE_LABELS",
+    "PROGRAM_FACTORIES",
+    "TRIAL_FUNCTIONS",
+    "build_network",
+    "size_topology",
+    "trial_result",
+    "comm_cost_trial",
+    "packet_bandwidth_trial",
+    "churn_trial",
+    "churn_intensity_trial",
+    "caching_bandwidth_trial",
+    "caching_latency_trial",
+    "traversal_bandwidth_trial",
+    "traversal_latency_trial",
+    "representation_trial",
+    "testbed_bandwidth_trial",
+    "testbed_fixpoint_trial",
+    "planner_fixpoint_trial",
+]
+
+#: Figure legend labels, in the order the paper lists them.
+MODE_LABELS: Dict[ProvenanceMode, str] = {
+    ProvenanceMode.VALUE: "Value-based Prov. (BDD)",
+    ProvenanceMode.REFERENCE: "Ref-based Prov.",
+    ProvenanceMode.NONE: "No Prov.",
+}
+
+#: JSON-able provenance-mode keys used in trial kwargs and artifact files.
+MODE_KEYS: Dict[str, ProvenanceMode] = {
+    "value": ProvenanceMode.VALUE,
+    "ref": ProvenanceMode.REFERENCE,
+    "none": ProvenanceMode.NONE,
+}
+
+#: The three curves shown in the maintenance-overhead figures.
+MAINTENANCE_MODES: Tuple[str, ...] = ("value", "ref", "none")
+
+#: NDlog programs referenced by name in trial kwargs.
+PROGRAM_FACTORIES: Dict[str, Callable[..., Program]] = {
+    "mincost": mincost_program,
+    "pathvector": pathvector_program,
+}
+
+
+def build_network(
+    topology: Topology,
+    program: Program,
+    mode: ProvenanceMode,
+    seed: int = 0,
+    run_to_fixpoint: bool = True,
+    planner: Optional[str] = None,
+) -> ExspanNetwork:
+    """Build, seed and (optionally) fixpoint an :class:`ExspanNetwork`.
+
+    ``planner`` selects the per-node evaluation strategy (``"greedy"`` /
+    ``"naive"``); ``None`` uses the process-wide default, which
+    ``repro.experiments.runner --planner`` controls.
+    """
+    network = ExspanNetwork(topology, program, mode=mode, seed=seed, planner=planner)
+    network.seed_links()
+    if run_to_fixpoint:
+        network.run_to_fixpoint()
+    return network
+
+
+def size_topology(size: int, seed: int) -> Topology:
+    """A connected topology of roughly *size* nodes in the transit-stub style.
+
+    For sizes below 100 (one GT-ITM domain) the generator is scaled down by
+    shrinking the per-stub node count so that small benchmark runs keep the
+    transit/stub structure; at 100 nodes and above the paper's exact
+    parameters are used and the size is swept by adding domains.
+    """
+    if size >= 100:
+        domains = max(1, round(size / 100))
+        return transit_stub_topology(domains=domains, seed=seed)
+    nodes_per_stub = max(2, round(size / 12))
+    return transit_stub_topology(
+        domains=1,
+        transit_per_domain=4,
+        stubs_per_transit=3,
+        nodes_per_stub=nodes_per_stub,
+        seed=seed,
+    )
+
+
+def _mode(mode: str) -> ProvenanceMode:
+    try:
+        return MODE_KEYS[mode]
+    except KeyError:
+        raise ValueError(f"unknown provenance mode key {mode!r}") from None
+
+
+def _program(program: str, max_cost: Optional[int] = None) -> Program:
+    try:
+        factory = PROGRAM_FACTORIES[program]
+    except KeyError:
+        raise ValueError(f"unknown program {program!r}") from None
+    if max_cost is not None:
+        return factory(max_cost=max_cost)
+    return factory()
+
+
+def trial_result(
+    series: Dict[str, List[List[float]]],
+    notes: Dict[str, Any],
+    planner: Dict[str, int],
+    traffic: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The plain-dict shape every trial returns (and artifacts store)."""
+    return {"series": series, "notes": notes, "planner": planner, "traffic": traffic}
+
+
+def _network_result(
+    network: ExspanNetwork,
+    series: Dict[str, List[List[float]]],
+    notes: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Package *series*/*notes* with the network's planner/traffic counters."""
+    return trial_result(
+        series,
+        notes,
+        network.planner_stats(),
+        {
+            "total_bytes": network.stats.total_bytes(),
+            "total_messages": network.stats.total_messages(),
+            "maintenance_bytes": network.maintenance_bytes(),
+            "query_bytes": network.query_bytes(),
+        },
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figures 6, 7: communication cost to fixpoint vs network size
+# ---------------------------------------------------------------------- #
+def comm_cost_trial(
+    program: str,
+    size: int,
+    mode: str,
+    seed: int = 0,
+    max_cost: Optional[int] = None,
+    planner: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Per-node communication cost (MB) to fixpoint at one (size, mode)."""
+    topology = size_topology(size, seed)
+    network = build_network(
+        topology, _program(program, max_cost), _mode(mode), seed=seed, planner=planner
+    )
+    per_node_mb = network.average_maintenance_bytes_per_node() / 1e6
+    label = MODE_LABELS[_mode(mode)]
+    return _network_result(
+        network, {label: [[topology.node_count(), per_node_mb]]}, {}
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 8: data-plane bandwidth over time (PACKETFORWARD)
+# ---------------------------------------------------------------------- #
+def packet_bandwidth_trial(
+    size: int,
+    mode: str,
+    packets_per_second: float = 20.0,
+    payload_bytes: int = 1024,
+    duration: float = 2.0,
+    bucket: float = 0.25,
+    seed: int = 0,
+    planner: Optional[str] = None,
+) -> Dict[str, Any]:
+    """PACKETFORWARD data-plane bandwidth (MBps) over time for one mode."""
+    topology = size_topology(size, seed)
+    program = pathvector_program().extended(packetforward_program(), "pv+fwd")
+    network = build_network(topology, program, _mode(mode), seed=seed, planner=planner)
+    control_plane_end = network.now
+    network.stats.reset()
+    workload = PacketWorkload(
+        network,
+        payload_bytes=payload_bytes,
+        packets_per_second=packets_per_second,
+        duration=duration,
+        seed=seed,
+    )
+    workload.run()
+    timeseries = network.stats.bandwidth_timeseries(
+        bucket,
+        network.node_count,
+        start=control_plane_end,
+        end=control_plane_end + duration,
+        kinds=[DELTA_MESSAGE_KIND],
+    )
+    label = MODE_LABELS[_mode(mode)]
+    points = [
+        [round(time - control_plane_end, 6), bytes_per_second / 1e6]
+        for time, bytes_per_second in timeseries
+    ]
+    notes = {f"{label} delivered": workload.delivered()}
+    return _network_result(network, {label: points}, notes)
+
+
+# ---------------------------------------------------------------------- #
+# Figures 9, 10: maintenance bandwidth under churn
+# ---------------------------------------------------------------------- #
+def _churn_timeseries(
+    program: str,
+    size: int,
+    mode: str,
+    rounds: int,
+    links_per_round: int,
+    interval: float,
+    bucket: float,
+    seed: int,
+    max_cost: Optional[int],
+    planner: Optional[str],
+) -> Tuple[ExspanNetwork, List[Tuple[float, float]], int]:
+    """Run the stub-link churn workload; return (network, series, events)."""
+    topology = size_topology(size, seed)
+    network = build_network(
+        topology, _program(program, max_cost), _mode(mode), seed=seed, planner=planner
+    )
+    start = network.now
+    network.stats.reset()
+    churn = make_churn(
+        network, links_per_round=links_per_round, interval=interval, seed=seed
+    )
+    churn.start(rounds=rounds, first_delay=interval)
+    network.simulator.run_until_idle()
+    duration = rounds * interval + interval
+    timeseries = network.stats.bandwidth_timeseries(
+        bucket,
+        network.node_count,
+        start=start,
+        end=start + duration,
+        kinds=[DELTA_MESSAGE_KIND],
+    )
+    shifted = [
+        (round(time - start, 6), bytes_per_second)
+        for time, bytes_per_second in timeseries
+    ]
+    return network, shifted, len(churn.events)
+
+
+def churn_trial(
+    program: str,
+    size: int,
+    mode: str,
+    rounds: int = 4,
+    links_per_round: int = 4,
+    interval: float = 0.5,
+    bucket: float = 0.25,
+    seed: int = 0,
+    max_cost: Optional[int] = None,
+    planner: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Maintenance bandwidth (MBps) over time under churn for one mode."""
+    network, timeseries, events = _churn_timeseries(
+        program, size, mode, rounds, links_per_round, interval, bucket, seed,
+        max_cost, planner,
+    )
+    label = MODE_LABELS[_mode(mode)]
+    points = [[time, bytes_per_second / 1e6] for time, bytes_per_second in timeseries]
+    notes = {f"{label} churn events": events}
+    return _network_result(network, {label: points}, notes)
+
+
+def churn_intensity_trial(
+    program: str,
+    size: int,
+    mode: str,
+    links_per_round: int,
+    rounds: int = 4,
+    interval: float = 0.5,
+    bucket: float = 0.25,
+    seed: int = 0,
+    max_cost: Optional[int] = None,
+    planner: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Mean churn-window bandwidth (MBps) at one churn intensity.
+
+    Registry-only scenario support: x is the churn intensity (links changed
+    per round) rather than time, so a sweep over intensities shows how
+    provenance maintenance scales with the rate of topology change.
+    """
+    network, timeseries, events = _churn_timeseries(
+        program, size, mode, rounds, links_per_round, interval, bucket, seed,
+        max_cost, planner,
+    )
+    values = [bytes_per_second for _, bytes_per_second in timeseries]
+    mean_mbps = (sum(values) / len(values) if values else 0.0) / 1e6
+    label = MODE_LABELS[_mode(mode)]
+    notes = {f"{label} @{links_per_round} churn events": events}
+    return _network_result(network, {label: [[links_per_round, mean_mbps]]}, notes)
+
+
+# ---------------------------------------------------------------------- #
+# Figures 11-15: provenance query workloads
+# ---------------------------------------------------------------------- #
+def _query_network(size: int, seed: int) -> ExspanNetwork:
+    """A reference-provenance MINCOST network used by the query experiments."""
+    topology = size_topology(size, seed)
+    return build_network(topology, mincost_program(), ProvenanceMode.REFERENCE, seed=seed)
+
+
+def _grid_query_network(side: int, seed: int) -> ExspanNetwork:
+    """A grid-topology MINCOST network with abundant equal-cost multipaths.
+
+    The paper's 100-node transit-stub networks give ``bestPathCost`` tuples
+    roughly three alternative derivations on average; our scaled-down
+    transit-stub defaults are too sparse for that, so the traversal-order
+    experiments (Figures 13 / 14) run MINCOST on a grid, where equal-cost
+    shortest paths make multi-derivation tuples the common case.
+    """
+    topology = grid_topology(side, side)
+    return build_network(topology, mincost_program(), ProvenanceMode.REFERENCE, seed=seed)
+
+
+def _run_query_workload(
+    network: ExspanNetwork,
+    spec,
+    queries_per_second: float,
+    duration: float,
+    seed: int,
+) -> QueryWorkload:
+    network.stats.reset()
+    workload = QueryWorkload(
+        network,
+        spec,
+        queries_per_second=queries_per_second,
+        duration=duration,
+        seed=seed,
+    )
+    workload.run()
+    return workload
+
+
+#: Caching variants: label and (equal-length) query-spec name per setting.
+_CACHE_VARIANTS: Dict[bool, Tuple[str, str]] = {
+    False: ("Without caching", "polync"),
+    True: ("With caching", "polywc"),
+}
+
+
+def caching_bandwidth_trial(
+    size: int,
+    use_cache: bool,
+    queries_per_second: float = 5.0,
+    duration: float = 2.0,
+    bucket: float = 0.25,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Per-node query bandwidth (KBps) with or without result caching."""
+    label, spec_name = _CACHE_VARIANTS[bool(use_cache)]
+    network = _query_network(size, seed)
+    spec = polynomial_query(name=spec_name, use_cache=bool(use_cache))
+    workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
+    timeseries = network.stats.bandwidth_timeseries(
+        bucket, network.node_count, start=0.0, end=duration, kinds=["prov"]
+    )
+    points = [[time, bytes_per_second / 1e3] for time, bytes_per_second in timeseries]
+    notes = {
+        f"{label} queries": len(workload.outcomes),
+        f"{label} cache": network.cache_stats(),
+    }
+    return _network_result(network, {label: points}, notes)
+
+
+def caching_latency_trial(
+    size: int,
+    use_cache: bool,
+    queries_per_second: float = 5.0,
+    duration: float = 2.0,
+    cdf_samples: int = 20,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Query completion-latency CDF with or without result caching."""
+    label, spec_name = _CACHE_VARIANTS[bool(use_cache)]
+    network = _query_network(size, seed)
+    spec = polynomial_query(name=spec_name, use_cache=bool(use_cache))
+    workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
+    latencies = [outcome.latency for outcome in workload.outcomes]
+    points = [
+        [round(value, 6), fraction] for value, fraction in cdf_points(latencies, cdf_samples)
+    ]
+    stats = workload.latency_stats()
+    notes = {
+        f"{label} median (s)": round(stats.percentile(0.5), 6),
+        f"{label} p80 (s)": round(stats.percentile(0.8), 6),
+    }
+    return _network_result(network, {label: points}, notes)
+
+
+#: Traversal variants: equal-length spec names so that message-size
+#: accounting is identical across strategies (the name travels in queries).
+_TRAVERSAL_VARIANTS: Dict[str, Tuple[str, TraversalOrder]] = {
+    "BFS": ("dcbfs", TraversalOrder.BFS),
+    "DFS": ("dcdfs", TraversalOrder.DFS),
+    "DFS-Threshold": ("dcthr", TraversalOrder.DFS_THRESHOLD),
+}
+
+
+def _traversal_spec(traversal: str, threshold: int):
+    spec_name, order = _TRAVERSAL_VARIANTS[traversal]
+    if order is TraversalOrder.DFS_THRESHOLD:
+        return derivation_count_query(name=spec_name, traversal=order, threshold=threshold)
+    return derivation_count_query(name=spec_name, traversal=order)
+
+
+def traversal_bandwidth_trial(
+    grid_side: int,
+    traversal: str,
+    queries_per_second: float = 5.0,
+    duration: float = 2.0,
+    bucket: float = 0.25,
+    threshold: int = 3,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """#DERIVATION query bandwidth (KBps) for one traversal strategy."""
+    network = _grid_query_network(grid_side, seed)
+    spec = _traversal_spec(traversal, threshold)
+    workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
+    timeseries = network.stats.bandwidth_timeseries(
+        bucket, network.node_count, start=0.0, end=duration, kinds=["prov"]
+    )
+    points = [[time, bytes_per_second / 1e3] for time, bytes_per_second in timeseries]
+    notes = {
+        f"{traversal} total KB": round(network.query_bytes() / 1e3, 3),
+        f"{traversal} queries": len(workload.outcomes),
+    }
+    return _network_result(network, {traversal: points}, notes)
+
+
+def traversal_latency_trial(
+    grid_side: int,
+    traversal: str,
+    queries_per_second: float = 5.0,
+    duration: float = 2.0,
+    cdf_samples: int = 20,
+    threshold: int = 3,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """#DERIVATION query latency CDF for one traversal strategy."""
+    network = _grid_query_network(grid_side, seed)
+    spec = _traversal_spec(traversal, threshold)
+    workload = _run_query_workload(network, spec, queries_per_second, duration, seed)
+    latencies = [outcome.latency for outcome in workload.outcomes]
+    points = [
+        [round(value, 6), fraction] for value, fraction in cdf_points(latencies, cdf_samples)
+    ]
+    notes = {f"{traversal} p80 (s)": round(workload.latency_stats().percentile(0.8), 6)}
+    return _network_result(network, {traversal: points}, notes)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 15: polynomial vs BDD query representations
+# ---------------------------------------------------------------------- #
+def representation_trial(
+    size: int,
+    representation: str,
+    queries_per_second: float = 5.0,
+    duration: float = 2.0,
+    bucket: float = 0.25,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Query bandwidth (KBps) for one provenance-result representation.
+
+    Equal-length spec names keep the per-message framing identical.
+    """
+    specs = {
+        "Polynomial": lambda: polynomial_query(name="f15poly"),
+        "BDD": lambda: bdd_query(name="f15bddq"),
+    }
+    if representation not in specs:
+        raise ValueError(f"unknown representation {representation!r}")
+    network = _query_network(size, seed)
+    workload = _run_query_workload(
+        network, specs[representation](), queries_per_second, duration, seed
+    )
+    timeseries = network.stats.bandwidth_timeseries(
+        bucket, network.node_count, start=0.0, end=duration, kinds=["prov"]
+    )
+    points = [[time, bytes_per_second / 1e3] for time, bytes_per_second in timeseries]
+    notes = {
+        f"{representation} total KB": round(network.query_bytes() / 1e3, 3),
+        f"{representation} mean latency (s)": round(workload.latency_stats().mean(), 6),
+    }
+    return _network_result(network, {representation: points}, notes)
+
+
+# ---------------------------------------------------------------------- #
+# Figures 16, 17: "testbed" deployment (ring topology)
+# ---------------------------------------------------------------------- #
+def testbed_bandwidth_trial(
+    size: int,
+    mode: str,
+    bucket: float = 0.002,
+    seed: int = 0,
+    planner: Optional[str] = None,
+) -> Dict[str, Any]:
+    """PATHVECTOR bandwidth (KBps) over time on the ring testbed topology."""
+    topology = ring_topology(size, seed=seed)
+    network = build_network(
+        topology, pathvector_program(), _mode(mode), seed=seed, planner=planner
+    )
+    end = max(network.now, bucket)
+    timeseries = network.stats.bandwidth_timeseries(
+        bucket, network.node_count, start=0.0, end=end, kinds=[DELTA_MESSAGE_KIND]
+    )
+    label = MODE_LABELS[_mode(mode)]
+    points = [
+        [round(time, 6), bytes_per_second / 1e3] for time, bytes_per_second in timeseries
+    ]
+    notes = {
+        f"{label} total KB per node": round(
+            network.average_maintenance_bytes_per_node() / 1e3, 3
+        )
+    }
+    return _network_result(network, {label: points}, notes)
+
+
+def testbed_fixpoint_trial(
+    size: int,
+    mode: str,
+    seed: int = 0,
+    planner: Optional[str] = None,
+) -> Dict[str, Any]:
+    """PATHVECTOR fixpoint latency (s) at one (size, mode) on the testbed."""
+    topology = ring_topology(size, seed=seed)
+    network = build_network(
+        topology, pathvector_program(), _mode(mode), seed=seed, planner=planner
+    )
+    label = MODE_LABELS[_mode(mode)]
+    return _network_result(network, {label: [[size, network.now]]}, {})
+
+
+# ---------------------------------------------------------------------- #
+# Planner ablation (registry-only): evaluation work per strategy
+# ---------------------------------------------------------------------- #
+def planner_fixpoint_trial(
+    program: str,
+    size: int,
+    planner: str,
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """Tuples scanned to fixpoint on a ring, for one planner strategy.
+
+    Uses :class:`StandaloneNetwork` (instant delivery, no simulator) so the
+    measurement isolates pure evaluation work; the y value is the network
+    -wide ``tuples_scanned`` counter, the quantity the CI regression gate
+    watches most closely.
+    """
+    topology = ring_topology(size, seed=seed)
+    network = StandaloneNetwork(topology.nodes, _program(program), planner=planner)
+    for source, destination, cost in topology.link_facts():
+        network.insert(Fact("link", (source, destination, cost)))
+    network.run()
+    stats = network.planner_stats()
+    label = f"{program} ({planner})"
+    return trial_result(
+        {label: [[size, stats["tuples_scanned"]]]},
+        # Size is part of the note key: one messages count per curve point
+        # (assemble_figure merges notes across trials by key).
+        {f"{label} messages @n={size}": network.messages_sent},
+        stats,
+        {"total_messages": network.messages_sent},
+    )
+
+
+#: Registry used by the orchestrator's worker processes: trial functions are
+#: referenced by name in trial specs and artifacts, never pickled directly.
+TRIAL_FUNCTIONS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "comm_cost": comm_cost_trial,
+    "packet_bandwidth": packet_bandwidth_trial,
+    "churn": churn_trial,
+    "churn_intensity": churn_intensity_trial,
+    "caching_bandwidth": caching_bandwidth_trial,
+    "caching_latency": caching_latency_trial,
+    "traversal_bandwidth": traversal_bandwidth_trial,
+    "traversal_latency": traversal_latency_trial,
+    "representation": representation_trial,
+    "testbed_bandwidth": testbed_bandwidth_trial,
+    "testbed_fixpoint": testbed_fixpoint_trial,
+    "planner_fixpoint": planner_fixpoint_trial,
+}
