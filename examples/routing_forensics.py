@@ -93,9 +93,14 @@ def main() -> None:
     refreshed, bytes_after, msgs_after = measure(
         network, Fact("bestPathCost", ("g0_0", "g4_4", 8)), cached
     )
-    print(f"After invalidation: {msgs_after} messages / {bytes_after} bytes, "
-          f"derivations now "
-          f"{network.query_provenance(Fact('bestPathCost', ('g0_0', 'g4_4', 8)), derivation_count_query(name='after')).result}")
+    outcome = network.query_provenance(
+        Fact("bestPathCost", ("g0_0", "g4_4", 8)),
+        derivation_count_query(name="after"),
+    )
+    print(
+        f"After invalidation: {msgs_after} messages / {bytes_after} bytes, "
+        f"derivations now {outcome.result}"
+    )
 
 
 if __name__ == "__main__":

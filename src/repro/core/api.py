@@ -73,11 +73,13 @@ class ExspanNetwork:
         link_cost: int = 1,
         seed: int = 0,
         planner: Optional[str] = None,
+        pipeline: Optional[str] = None,
     ):
         self.topology = topology
         self.mode = mode
         self.link_cost = link_cost
         self.planner = planner
+        self.pipeline = pipeline
         self._rng = random.Random(seed)
         if mode is ProvenanceMode.CENTRALIZED and collector is None:
             collector = topology.nodes[0]
@@ -104,6 +106,7 @@ class ExspanNetwork:
             functions=default_registry(),
             annotation_policy=policy,
             planner=self.planner,
+            pipeline=self.pipeline,
         )
         engine.set_send(self._make_sender(host, engine))
         engine.load_program(self.prepared.program)

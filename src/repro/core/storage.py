@@ -74,6 +74,14 @@ class ProvenanceStore:
     def __init__(self, engine: NDlogEngine):
         self.engine = engine
         self._vid_index: Dict[str, Tuple[str, Tuple[Any, ...]]] = {}
+        # The VID -> tuple index is built lazily on first use and then
+        # maintained *incrementally* through the engine's update listener —
+        # the old rebuild-the-world-per-miss behaviour was O(all rows) per
+        # unresolvable VID, which query workloads hit constantly.  Until the
+        # first build the listener is a no-op, so nodes that never resolve a
+        # VID pay nothing.
+        self._vid_index_built = False
+        engine.add_update_listener(self._on_tuple_update)
 
     @property
     def node(self) -> Any:
@@ -126,18 +134,26 @@ class ProvenanceStore:
     # ------------------------------------------------------------------ #
     def fact_for_vid(self, vid: str) -> Optional[Fact]:
         """Resolve *vid* back to the locally stored tuple, if any."""
-        cached = self._vid_index.get(vid)
-        if cached is not None:
-            name, row = cached
-            if tuple(row) in self.engine.catalog.table(name):
-                return Fact(name, row)
-            del self._vid_index[vid]
-        self._rebuild_vid_index()
+        if not self._vid_index_built:
+            self._rebuild_vid_index()
         cached = self._vid_index.get(vid)
         if cached is None:
             return None
         name, row = cached
         return Fact(name, row)
+
+    def _on_tuple_update(self, action: str, fact: Fact) -> None:
+        """Engine update listener: keep the VID index consistent once built."""
+        if not self._vid_index_built:
+            return
+        name = fact.name
+        if name in (PROV_TABLE, RULE_EXEC_TABLE) or is_event_predicate(name):
+            return
+        vid = fact_vid(fact)
+        if action == "insert":
+            self._vid_index[vid] = (name, tuple(fact.values))
+        else:
+            self._vid_index.pop(vid, None)
 
     def _rebuild_vid_index(self) -> None:
         self._vid_index.clear()
@@ -149,6 +165,7 @@ class ProvenanceStore:
             for row in table.rows():
                 vid = fact_vid(Fact(table.name, row))
                 self._vid_index[vid] = (table.name, row)
+        self._vid_index_built = True
 
     # ------------------------------------------------------------------ #
     # statistics helpers (used by tests and EXPERIMENTS.md reporting)

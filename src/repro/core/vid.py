@@ -16,14 +16,30 @@ The same formulas are evaluated in two places: inside rewritten NDlog rules
 the tests.  Keeping the string rendering identical in both paths is what
 makes the reference pointers resolvable, so both call into this module's
 :func:`render_value`.
+
+Because a tuple's VID is immutable for its whole lifetime while the engine
+recomputes it on every rule firing the tuple joins into, VID computation is
+memoized twice: :func:`tuple_vid` keeps a bounded ``(name, values) ->
+digest`` cache here, and the ``f_sha1`` builtin the rewrite layer evaluates
+keeps the matching bounded preimage cache in
+:mod:`repro.datalog.functions`.  Both caches only trade CPU for bounded
+memory — cached and uncached computation produce identical digests — and
+:func:`set_vid_caching` toggles the pair together (the speedup benchmarks
+use that for honest before/after numbers).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Dict, Iterable, Sequence
 
 from ..datalog.ast import Fact
-from ..datalog.functions import sha1_hex
+from ..datalog.functions import (
+    clear_sha1_cache,
+    freeze_cache_key,
+    set_sha1_caching,
+    sha1_cache_stats,
+    sha1_hex,
+)
 
 __all__ = [
     "render_value",
@@ -33,10 +49,60 @@ __all__ = [
     "rule_preimage",
     "rule_rid",
     "NULL_RID",
+    "set_vid_caching",
+    "clear_vid_caches",
+    "vid_cache_stats",
+    "VID_CACHE_LIMIT",
 ]
 
 #: RID value used for base tuples (the paper stores ``null``).
 NULL_RID = None
+
+#: Upper bound on memoized tuple VIDs.  One entry holds the (name, frozen
+#: values) key plus a 20-character digest; at the limit the cache is dropped
+#: wholesale and rebuilt, so worst-case memory stays around a few tens of
+#: megabytes regardless of how long a process sweeps topologies.
+VID_CACHE_LIMIT = 1 << 17
+
+_vid_cache: Dict[tuple, str] = {}
+_vid_caching = True
+_vid_hits = 0
+_vid_misses = 0
+
+
+def set_vid_caching(enabled: bool) -> None:
+    """Enable/disable VID memoization here *and* in the ``f_sha1`` builtin.
+
+    Used by the speedup benchmarks to measure the un-memoized baseline;
+    results are identical either way, only wall-clock changes.
+    """
+    global _vid_caching
+    _vid_caching = bool(enabled)
+    if not _vid_caching:
+        _vid_cache.clear()
+    set_sha1_caching(enabled)
+
+
+def clear_vid_caches() -> None:
+    """Drop the VID cache and the underlying ``f_sha1`` cache."""
+    global _vid_hits, _vid_misses
+    _vid_cache.clear()
+    _vid_hits = 0
+    _vid_misses = 0
+    clear_sha1_cache()
+
+
+def vid_cache_stats() -> Dict[str, Any]:
+    """Diagnostic counters of both memo layers (see README "Performance")."""
+    return {
+        "vid": {
+            "entries": len(_vid_cache),
+            "hits": _vid_hits,
+            "misses": _vid_misses,
+            "limit": VID_CACHE_LIMIT,
+        },
+        "sha1": sha1_cache_stats(),
+    }
 
 
 def render_value(value: Any) -> str:
@@ -62,7 +128,31 @@ def tuple_preimage(name: str, values: Sequence[Any]) -> str:
 
 
 def tuple_vid(name: str, values: Sequence[Any]) -> str:
-    """Compute the VID of the tuple ``name(values...)``."""
+    """Compute the VID of the tuple ``name(values...)`` (memoized).
+
+    The cache key freezes lists into tuples via the same helper the
+    ``f_sha1`` memo uses (:func:`render_value` renders both identically, so
+    equal keys always map to equal digests); values that stay unhashable
+    (e.g. sets) skip the cache and fall through to direct computation.
+    """
+    global _vid_hits, _vid_misses
+    if _vid_caching:
+        try:
+            key = (name, tuple(map(freeze_cache_key, values)))
+            digest = _vid_cache.get(key)
+        except TypeError:  # unhashable attribute (e.g. a set): no cache
+            key = None
+            digest = None
+        if key is not None:
+            if digest is not None:
+                _vid_hits += 1
+                return digest
+            _vid_misses += 1
+            digest = sha1_hex(tuple_preimage(name, values))
+            if len(_vid_cache) >= VID_CACHE_LIMIT:
+                _vid_cache.clear()
+            _vid_cache[key] = digest
+            return digest
     return sha1_hex(tuple_preimage(name, values))
 
 

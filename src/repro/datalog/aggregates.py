@@ -38,6 +38,10 @@ class AggregateState:
         self._values: Counter = Counter()
         self._count = 0
         self._sum: Any = 0
+        # Cached MIN/MAX winner.  ``None`` means "recompute lazily": without
+        # it every current() pays an O(group) scan, which turns the hot
+        # best-path maintenance into quadratic work as groups grow.
+        self._best: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # updates
@@ -47,8 +51,17 @@ class AggregateState:
         key = self._normalize(value)
         self._values[key] += 1
         self._count += 1
-        if self.func == "sum":
+        func = self.func
+        if func == "sum":
             self._sum += value
+        elif func == "min":
+            best = self._best
+            if best is not None and key < best:
+                self._best = key
+        elif func == "max":
+            best = self._best
+            if best is not None and key > best:
+                self._best = key
 
     def delete(self, value: Any) -> None:
         """Remove one occurrence of *value*; ignores values never inserted."""
@@ -58,6 +71,8 @@ class AggregateState:
         self._values[key] -= 1
         if self._values[key] == 0:
             del self._values[key]
+            if key == self._best:
+                self._best = None  # winner left: recompute on next current()
         self._count -= 1
         if self.func == "sum":
             self._sum -= value
@@ -89,9 +104,17 @@ class AggregateState:
         if self.is_empty:
             raise EvaluationError(f"aggregate {self.func} over an empty group")
         if self.func == "min":
-            return min(self._values)
+            best = self._best
+            if best is None:
+                best = min(self._values)
+                self._best = best
+            return best
         if self.func == "max":
-            return max(self._values)
+            best = self._best
+            if best is None:
+                best = max(self._values)
+                self._best = best
+            return best
         if self.func == "agglist":
             items: List[Any] = []
             for value, multiplicity in self._values.items():
@@ -116,7 +139,7 @@ class AggregateState:
         """
         if self.is_empty or self.func not in ("min", "max"):
             return None
-        return min(self._values) if self.func == "min" else max(self._values)
+        return self.current()
 
     def __len__(self) -> int:
         return self._count

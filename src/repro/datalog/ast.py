@@ -214,12 +214,14 @@ class Rule:
         return f"{self.label} {self.head} :- {body}."
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fact:
     """A ground fact such as ``link(@a, b, 3).``
 
     Facts are stored as plain value tuples; the location value is
-    ``values[location_index]``.
+    ``values[location_index]``.  Slotted: the engine creates one Fact per
+    matched body row and per derived head, so instance-dict overhead shows
+    up directly in fixpoint wall-clock.
     """
 
     name: str
@@ -228,7 +230,12 @@ class Fact:
 
     def __init__(self, name: str, values: Sequence[Any], location_index: int = 0):
         object.__setattr__(self, "name", name)
-        object.__setattr__(self, "values", tuple(values))
+        # isinstance (not an exact-type check) so interned table rows —
+        # tuple subclasses with cached hashes — are kept as-is rather than
+        # copied down to plain tuples on every Fact construction.
+        object.__setattr__(
+            self, "values", values if isinstance(values, tuple) else tuple(values)
+        )
         object.__setattr__(self, "location_index", location_index)
 
     @property

@@ -16,20 +16,74 @@ Tables optionally declare primary-key positions.  When a new fact shares the
 primary key of an existing fact with different non-key attributes, the old
 fact is *replaced* (an update), which mirrors RapidNet's ``materialize``
 semantics and is relied upon by routing tables such as ``bestHop``.
+
+Rows are *interned*: each table hash-conses its stored tuples into one
+canonical :class:`InternedRow` per distinct value tuple.  An interned row
+caches its hash after the first computation, so the row dict, the
+primary-key map and every secondary index stop re-hashing the same tuple on
+each insert, delete and probe; sharing one object also makes the dict
+equality checks on those structures identity hits.  The pool only holds
+live rows (entries are dropped when the last derivation disappears), so its
+memory is bounded by the table's current cardinality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .ast import Fact, TableDecl
 from .errors import SchemaError
 
-__all__ = ["Table", "Catalog", "InsertOutcome", "DeleteOutcome"]
+__all__ = [
+    "InternedRow",
+    "Table",
+    "Catalog",
+    "InsertOutcome",
+    "DeleteOutcome",
+    "freeze_value",
+]
 
 
-@dataclass(frozen=True)
+class InternedRow(tuple):
+    """A hash-consed table row: a tuple whose hash is computed once.
+
+    Instances are created only by :meth:`Table.insert`, so at most one
+    exists per distinct live row of a table.  Equality, ordering, repr and
+    JSON serialization are inherited from ``tuple`` unchanged — interning
+    is invisible to everything except the hash profile.  The canonical
+    object also carries the row's *derivation count* (``count``), which
+    lets insert/delete bump a plain attribute instead of rewriting a dict
+    entry.
+    """
+
+    # Lazily cached in the instance dict on first hash (tuple subclasses
+    # cannot carry nonempty __slots__, so the per-instance dict is the one
+    # canonical copy's storage cost — shared with ``count``).
+    _cached_hash: Optional[int] = None
+    #: Derivation count maintained by the owning Table.
+    count: int = 0
+
+    def __hash__(self) -> int:
+        cached = self._cached_hash
+        if cached is None:
+            cached = tuple.__hash__(self)
+            self._cached_hash = cached
+        return cached
+
+
+@dataclass(frozen=True, slots=True)
 class InsertOutcome:
     """Result of a table insert.
 
@@ -43,7 +97,7 @@ class InsertOutcome:
     replaced: Optional[Fact] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeleteOutcome:
     """Result of a table delete.
 
@@ -53,6 +107,16 @@ class DeleteOutcome:
 
     became_invisible: bool
     was_present: bool
+
+
+# Immutable outcome singletons for the overwhelmingly common cases (one
+# fresh frozen-dataclass allocation per table mutation adds up at delta
+# rates); only primary-key replacement still allocates.
+_INSERTED_NEW = InsertOutcome(became_visible=True, replaced=None)
+_INSERTED_DUP = InsertOutcome(became_visible=False, replaced=None)
+_DELETED_GONE = DeleteOutcome(became_invisible=True, was_present=True)
+_DELETED_KEPT = DeleteOutcome(became_invisible=False, was_present=True)
+_DELETED_ABSENT = DeleteOutcome(became_invisible=False, was_present=False)
 
 
 class Table:
@@ -69,8 +133,12 @@ class Table:
         self.arity = arity
         self.key_positions: Tuple[int, ...] = tuple(key_positions)
         self.location_index = location_index
-        # full tuple -> derivation count
-        self._rows: Dict[Tuple[Any, ...], int] = {}
+        self._key_getter = (
+            _subkey_getter(self.key_positions) if self.key_positions else None
+        )
+        # frozen tuple -> canonical InternedRow (which carries .count).
+        # One dict serves as row set, intern pool and count store at once.
+        self._rows: Dict[Tuple[Any, ...], InternedRow] = {}
         # primary key -> full tuple (only when key_positions declared)
         self._by_key: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
         # (positions) -> {values -> ordered set (dict) of full tuples}.
@@ -81,12 +149,20 @@ class Table:
         self._indexes: Dict[
             Tuple[int, ...], Dict[Tuple[Any, ...], Dict[Tuple[Any, ...], None]]
         ] = {}
+        # Maintenance view of _indexes: (max position, key getter, index
+        # dict) triples, so insert/delete skip per-row position loops.
+        self._index_list: List[
+            Tuple[int, Callable[[Sequence[Any]], Tuple[Any, ...]], Dict]
+        ] = []
 
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
     def _check_arity(self, values: Sequence[Any]) -> Tuple[Any, ...]:
-        row = tuple(_freeze(v) for v in values)
+        if type(values) is InternedRow:
+            row: Tuple[Any, ...] = values
+        else:
+            row = tuple(map(_freeze, values))
         if self.arity is None:
             self.arity = len(row)
         elif len(row) != self.arity:
@@ -97,9 +173,10 @@ class Table:
         return row
 
     def _key_of(self, row: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
-        if not self.key_positions:
+        getter = self._key_getter
+        if getter is None:
             return None
-        return tuple(row[i] for i in self.key_positions)
+        return getter(row)
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -107,40 +184,48 @@ class Table:
     def insert(self, values: Sequence[Any]) -> InsertOutcome:
         """Insert one derivation of *values*; see :class:`InsertOutcome`."""
         row = self._check_arity(values)
+        interned = self._rows.get(row)
+        if interned is not None:
+            interned.count += 1
+            return _INSERTED_DUP
+        # Always a fresh canonical object: the incoming row may be another
+        # table's interned row, whose derivation count must not be touched.
+        interned = InternedRow(row)
+        interned.count = 1
         replaced: Optional[Fact] = None
-        key = self._key_of(row)
+        key = self._key_of(interned)
         if key is not None:
             existing = self._by_key.get(key)
-            if existing is not None and existing != row:
+            if existing is not None and existing != interned:
                 # primary-key update: evict the old row entirely
                 self._remove_row(existing)
                 replaced = Fact(self.name, existing, self.location_index)
-            self._by_key[key] = row
-        count = self._rows.get(row, 0)
-        self._rows[row] = count + 1
-        if count == 0:
-            self._index_add(row)
-        return InsertOutcome(became_visible=(count == 0), replaced=replaced)
+            self._by_key[key] = interned
+        self._rows[interned] = interned
+        self._index_add(interned)
+        if replaced is None:
+            return _INSERTED_NEW
+        return InsertOutcome(became_visible=True, replaced=replaced)
 
     def delete(self, values: Sequence[Any]) -> DeleteOutcome:
         """Remove one derivation of *values*; see :class:`DeleteOutcome`."""
         row = self._check_arity(values)
-        count = self._rows.get(row)
-        if count is None:
-            return DeleteOutcome(became_invisible=False, was_present=False)
-        if count <= 1:
-            self._remove_row(row)
-            return DeleteOutcome(became_invisible=True, was_present=True)
-        self._rows[row] = count - 1
-        return DeleteOutcome(became_invisible=False, was_present=True)
+        interned = self._rows.get(row)
+        if interned is None:
+            return _DELETED_ABSENT
+        if interned.count <= 1:
+            self._remove_row(interned)
+            return _DELETED_GONE
+        interned.count -= 1
+        return _DELETED_KEPT
 
     def delete_all(self, values: Sequence[Any]) -> DeleteOutcome:
         """Remove every derivation of *values* regardless of count."""
         row = self._check_arity(values)
         if row not in self._rows:
-            return DeleteOutcome(became_invisible=False, was_present=False)
+            return _DELETED_ABSENT
         self._remove_row(row)
-        return DeleteOutcome(became_invisible=True, was_present=True)
+        return _DELETED_GONE
 
     def _remove_row(self, row: Tuple[Any, ...]) -> None:
         self._rows.pop(row, None)
@@ -153,21 +238,24 @@ class Table:
         self._rows.clear()
         self._by_key.clear()
         self._indexes.clear()
+        self._index_list.clear()
 
     # ------------------------------------------------------------------ #
     # indexes
     # ------------------------------------------------------------------ #
     def _index_add(self, row: Tuple[Any, ...]) -> None:
-        for positions, index in self._indexes.items():
-            if positions and positions[-1] >= len(row):
+        length = len(row)
+        for max_position, getter, index in self._index_list:
+            if max_position >= length:
                 continue  # row too short for this index; it can never match
-            index.setdefault(tuple(row[i] for i in positions), {})[row] = None
+            index.setdefault(getter(row), {})[row] = None
 
     def _index_remove(self, row: Tuple[Any, ...]) -> None:
-        for positions, index in self._indexes.items():
-            if positions and positions[-1] >= len(row):
+        length = len(row)
+        for max_position, getter, index in self._index_list:
+            if max_position >= length:
                 continue
-            key = tuple(row[i] for i in positions)
+            key = getter(row)
             bucket = index.get(key)
             if bucket is not None:
                 bucket.pop(row, None)
@@ -180,11 +268,14 @@ class Table:
         index = self._indexes.get(positions)
         if index is None:
             index = {}
+            getter = _subkey_getter(positions)
+            max_position = positions[-1] if positions else -1
             for row in self._rows:
-                if positions and positions[-1] >= len(row):
+                if max_position >= len(row):
                     continue
-                index.setdefault(tuple(row[i] for i in positions), {})[row] = None
+                index.setdefault(getter(row), {})[row] = None
             self._indexes[positions] = index
+            self._index_list.append((max_position, getter, index))
         return index
 
     def ensure_index(self, positions: Sequence[int]) -> None:
@@ -231,11 +322,16 @@ class Table:
 
     def count(self, values: Sequence[Any]) -> int:
         """Return the derivation count for *values* (0 if absent)."""
-        return self._rows.get(tuple(_freeze(v) for v in values), 0)
+        interned = self._rows.get(tuple(_freeze(v) for v in values))
+        return interned.count if interned is not None else 0
 
     def rows(self) -> Iterator[Tuple[Any, ...]]:
         """Iterate over distinct rows (ignoring derivation counts)."""
         return iter(list(self._rows))
+
+    def rows_list(self) -> List[Tuple[Any, ...]]:
+        """The distinct rows as a list (compiled full-scan entry point)."""
+        return list(self._rows)
 
     def facts(self) -> Iterator[Fact]:
         for row in self.rows():
@@ -256,6 +352,23 @@ class Table:
         for row in list(index.get(key, ())):
             yield row
 
+    def probe(
+        self, positions: Tuple[int, ...], key: Tuple[Any, ...]
+    ) -> Optional[Dict[Tuple[Any, ...], None]]:
+        """The index bucket for *key* over *positions* (``None`` when empty).
+
+        The compiled execution path uses this instead of :meth:`lookup`: the
+        caller has already computed the canonical position tuple and the
+        frozen key, so the bucket (an insertion-ordered dict of rows) is
+        returned directly with no per-row generator machinery.  Callers must
+        not mutate the table while iterating the bucket — rule evaluation
+        never does (all table mutation happens between deltas).
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._ensure_index(positions)
+        return index.get(key)
+
     def __len__(self) -> int:
         return len(self._rows)
 
@@ -263,13 +376,37 @@ class Table:
         return f"Table({self.name!r}, rows={len(self._rows)})"
 
 
+def _subkey_getter(
+    positions: Sequence[int],
+) -> Callable[[Sequence[Any]], Tuple[Any, ...]]:
+    """A C-speed ``row -> (row[p0], row[p1], ...)`` key extractor.
+
+    Single-position getters are wrapped so every key stays a tuple (index
+    and primary-key dictionaries key on tuples regardless of width).
+    """
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    if not positions:
+        return lambda row: ()
+    return itemgetter(*positions)
+
+
 def _freeze(value: Any) -> Any:
     """Convert mutable containers to hashable equivalents for storage."""
+    cls = value.__class__
+    if cls is str or cls is int:  # the dominant row-attribute types
+        return value
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(v) for v in value)
     if isinstance(value, set):
         return tuple(sorted(_freeze(v) for v in value))
     return value
+
+
+#: Public alias used by the compiled execution layer (index key freezing
+#: must match storage freezing exactly).
+freeze_value = _freeze
 
 
 class Catalog:

@@ -1,4 +1,4 @@
-"""Per-node NDlog evaluation engine (pipelined semi-naive evaluation).
+"""Per-node NDlog evaluation engine (batched pipelined semi-naive evaluation).
 
 Each network node runs one :class:`NDlogEngine`.  The engine owns the node's
 :class:`~repro.datalog.catalog.Catalog` of materialized tables, a FIFO queue
@@ -9,7 +9,7 @@ declarative networking literature and summarized in Section 4.2 of the
 ExSPAN paper:
 
 * every insertion or deletion of a tuple is a *delta*;
-* deltas are processed one at a time from a FIFO queue;
+* deltas are processed in FIFO order;
 * for a rule ``d :- d1, ..., dn`` and a delta on ``dk``, the engine joins the
   delta tuple against the materialized fragments of the other body
   predicates, evaluates assignments and conditions, and produces head deltas;
@@ -19,6 +19,19 @@ ExSPAN paper:
 * duplicate derivations are tracked with per-tuple derivation counts so a
   tuple is only propagated when it first appears and only deleted when its
   last derivation disappears (cascaded deletions).
+
+The default ``pipeline="batched"`` drains the queue in maximal runs of
+consecutive deltas sharing one (predicate, action) pair and routes each
+through the closure-compiled plan executors
+(:mod:`repro.datalog.plan.compiler`).  Batching amortizes the per-delta
+dispatch (event check, table resolution, rule-list lookup, counter updates)
+without reordering anything: deltas inside a batch are still applied and
+fired strictly in FIFO order, and derived deltas always join the back of
+the queue, so the batched pipeline is bit-identical to the legacy
+``pipeline="delta"`` interpreter — same fixpoints, same provenance VIDs,
+same annotation merges, same ``tuples_scanned`` counters.  The legacy
+pipeline is retained as the equivalence-test reference and the "before"
+measurement of the speedup benchmarks.
 
 The engine exposes two extension points used by the ExSPAN provenance layer:
 
@@ -38,7 +51,6 @@ from typing import (
     Any,
     Callable,
     Dict,
-    Iterable,
     List,
     Mapping,
     Optional,
@@ -64,9 +76,11 @@ from .plan import (
     CompiledDeltaPlan,
     IndexManager,
     PlanCompiler,
+    compile_term,
     explain_plans,
 )
-from .terms import AggregateSpec, Constant, Term, Variable
+from .plan.compiler import STALENESS_CHECK_PERIOD
+from .terms import AggregateSpec, Constant, Variable
 
 __all__ = [
     "Delta",
@@ -77,6 +91,7 @@ __all__ = [
     "DELETE",
     "REFRESH",
     "PLANNERS",
+    "PIPELINES",
     "default_planner",
     "set_default_planner",
 ]
@@ -86,6 +101,12 @@ __all__ = [
 #: unoptimized left-to-right nested-loop join with no secondary indexes,
 #: kept so benchmarks can quantify what the planner buys.
 PLANNERS = ("greedy", "naive")
+
+#: Delta pipelines: "batched" drains the queue in per-(predicate, action)
+#: runs and executes closure-compiled plans; "delta" is the legacy
+#: one-delta-at-a-time interpreter, kept as the equivalence reference and
+#: the "before" side of the batching benchmarks.  Results are bit-identical.
+PIPELINES = ("batched", "delta")
 
 _DEFAULT_PLANNER = "greedy"
 
@@ -113,7 +134,7 @@ DELETE = "delete"
 REFRESH = "refresh"
 
 
-@dataclass
+@dataclass(slots=True)
 class Delta:
     """A single insertion, deletion or annotation refresh of a fact."""
 
@@ -138,7 +159,7 @@ class Delta:
         return f"{sign}{self.fact}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RuleFiring:
     """Details of one successful rule execution, passed to rule listeners."""
 
@@ -194,6 +215,25 @@ class _CompiledAggregateRule:
     spec: AggregateSpec
     groups: Dict[Tuple[Any, ...], AggregateState] = field(default_factory=dict)
     emitted: Dict[Tuple[Any, ...], Tuple[Any, ...]] = field(default_factory=dict)
+    #: closure-compiled evaluators of the non-aggregate head arguments, in
+    #: head order (used by both pipelines; equivalent to Term.evaluate).
+    group_fns: Tuple[Any, ...] = ()
+
+
+class _Firing:
+    """One (rule, trigger position) registration with its resolved plan.
+
+    The batched pipeline iterates these instead of re-looking plans up in
+    the ``(id(rule), position)`` dict on every delta; ``plan`` is swapped in
+    place on staleness recompiles.
+    """
+
+    __slots__ = ("rule", "position", "plan")
+
+    def __init__(self, rule: Rule, position: int, plan: Optional[CompiledDeltaPlan]):
+        self.rule = rule
+        self.position = position
+        self.plan = plan
 
 
 class NDlogEngine:
@@ -207,6 +247,7 @@ class NDlogEngine:
         send: Optional[Callable[[Any, Delta], None]] = None,
         annotation_policy: Optional[AnnotationPolicy] = None,
         planner: Optional[str] = None,
+        pipeline: Optional[str] = None,
     ):
         self.address = address
         self.functions = functions if functions is not None else default_registry()
@@ -215,6 +256,9 @@ class NDlogEngine:
         self.annotation_policy = annotation_policy
         self._queue: deque[Delta] = deque()
         self._rules_by_predicate: Dict[str, List[Tuple[Rule, int]]] = defaultdict(list)
+        self._firings_by_predicate: Dict[str, List[_Firing]] = defaultdict(list)
+        #: name -> is_event_predicate(name), filled on first sight.
+        self._event_names: Dict[str, bool] = {}
         self._aggregate_rules: Dict[str, _CompiledAggregateRule] = {}
         self._rule_listeners: List[Callable[[RuleFiring], None]] = []
         self._update_listeners: List[Callable[[str, Fact], None]] = []
@@ -226,6 +270,15 @@ class NDlogEngine:
             raise ValidationError(
                 f"unknown planner {self.planner!r}; expected one of {PLANNERS}"
             )
+        self.pipeline = pipeline if pipeline is not None else "batched"
+        if self.pipeline not in PIPELINES:
+            raise ValidationError(
+                f"unknown pipeline {self.pipeline!r}; expected one of {PIPELINES}"
+            )
+        #: True when the batched pipeline (and compiled plan execution) runs.
+        self._batched = self.pipeline == "batched"
+        #: True when _fire_rules may take the compiled fast path.
+        self._fast = self._batched and self.planner == "greedy"
         # keyed by (id(rule), position): rule *identity*, not label, because
         # load_program may be called more than once and distinct rules with
         # the same label must not clobber each other's plans (self.rules
@@ -260,15 +313,23 @@ class NDlogEngine:
         if aggregate is not None:
             index, spec = aggregate
             self._aggregate_rules[rule.label] = _CompiledAggregateRule(
-                rule=rule, aggregate_index=index, spec=spec
+                rule=rule,
+                aggregate_index=index,
+                spec=spec,
+                group_fns=tuple(
+                    compile_term(arg)
+                    for position, arg in enumerate(rule.head.args)
+                    if position != index
+                ),
             )
         for position, atom in enumerate(rule.body_atoms):
             self._rules_by_predicate[atom.name].append((rule, position))
+            plan = None
             if self.planner == "greedy":
-                self._plans[(id(rule), position)] = self._plan_compiler.compile(
-                    rule, position
-                )
+                plan = self._plan_compiler.compile(rule, position)
+                self._plans[(id(rule), position)] = plan
                 self.stats["plans_compiled"] += 1
+            self._firings_by_predicate[atom.name].append(_Firing(rule, position, plan))
 
     def explain(self, label: Optional[str] = None) -> str:
         """Render the compiled evaluation plans (``EXPLAIN`` for NDlog).
@@ -343,77 +404,229 @@ class NDlogEngine:
 
         Returns the number of deltas processed.  ``max_steps`` bounds the
         work done in one call, which the simulator uses to interleave nodes.
+
+        The batched pipeline drains maximal runs of *consecutive* deltas
+        sharing one (predicate, action) pair and processes them together.
+        Derived deltas always join the back of the queue, exactly as when
+        they are produced one delta at a time, so batching changes dispatch
+        cost only — never processing order or results.
         """
+        if not self._batched:
+            steps = 0
+            while self._queue:
+                if max_steps is not None and steps >= max_steps:
+                    break
+                delta = self._queue.popleft()
+                self._process_delta(delta)
+                steps += 1
+            return steps
+        queue = self._queue
+        stats = self.stats
+        event_names = self._event_names
         steps = 0
-        while self._queue:
+        while queue:
             if max_steps is not None and steps >= max_steps:
                 break
-            delta = self._queue.popleft()
-            self._process_delta(delta)
+            delta = queue.popleft()
+            fact = delta.fact
+            name = fact.name
+            action = delta.action
+            limit = None if max_steps is None else max_steps - steps
+            if queue and (limit is None or limit >= 2):
+                head = queue[0]
+                if head.fact.name == name and head.action == action:
+                    # A run of same-(predicate, action) deltas: drain it and
+                    # process with one dispatch.  `limit` bounds the batch so
+                    # run(max_steps=N) never processes more than N deltas.
+                    batch = [delta, queue.popleft()]
+                    while queue and (limit is None or len(batch) < limit):
+                        head = queue[0]
+                        if head.fact.name != name or head.action != action:
+                            break
+                        batch.append(queue.popleft())
+                    self._process_batch(name, action, batch)
+                    steps += len(batch)
+                    continue
+            # Singleton: skip the batch list entirely.
+            stats["deltas_processed"] += 1
+            is_event = event_names.get(name)
+            if is_event is None:
+                is_event = event_names[name] = is_event_predicate(name)
+            firings = self._firings_by_predicate.get(name, ())
+            if is_event:
+                if firings:
+                    self._fire_rules(firings, delta)
+            else:
+                table = self.catalog.table(name, fact.arity)
+                if action == INSERT:
+                    self._apply_insert(table, firings, delta)
+                elif action == DELETE:
+                    self._apply_delete(table, firings, delta)
+                else:
+                    self._apply_refresh(table, firings, delta)
             steps += 1
         return steps
 
-    def _process_delta(self, delta: Delta) -> None:
-        self.stats["deltas_processed"] += 1
-        fact = delta.fact
-        if is_event_predicate(fact.name):
+    def _process_batch(self, name: str, action: str, batch: List[Delta]) -> None:
+        """Apply one (predicate, action) run of deltas, strictly in order."""
+        self.stats["deltas_processed"] += len(batch)
+        firings = self._firings_by_predicate.get(name, ())
+        is_event = self._event_names.get(name)
+        if is_event is None:
+            is_event = self._event_names[name] = is_event_predicate(name)
+        if is_event:
             # Events are transient: they trigger rules but never materialize.
             # Deletion deltas flow through events too, so that cascaded
             # deletions reach the prov / ruleExec tables maintained by the
             # provenance rewrite (Section 4.2.1).
-            self._trigger_rules(delta)
+            if firings:
+                for delta in batch:
+                    self._fire_rules(firings, delta)
             return
-        table = self.catalog.table(fact.name, fact.arity)
-        if delta.is_refresh:
-            # Annotation update for a tuple that is (normally) already stored.
-            if self.annotation_policy is None or delta.annotation is None:
-                return
-            if fact.values not in table:
-                # Refresh raced ahead of the insert: fall back to an insert.
-                self.enqueue(Delta(INSERT, fact, delta.annotation))
-                return
-            changed = self._store_annotation(fact, delta.annotation)
-            if changed:
-                self._trigger_rules(
-                    Delta(REFRESH, fact, self._lookup_annotation(fact))
-                )
-            return
-        if delta.is_insert:
-            outcome = table.insert(fact.values)
-            if outcome.replaced is not None:
-                self._clear_annotation(outcome.replaced)
-                self._notify_update(DELETE, outcome.replaced)
-                self._trigger_rules(Delta(DELETE, outcome.replaced))
-            annotation_changed = False
-            if self.annotation_policy is not None and delta.annotation is not None:
-                annotation_changed = self._store_annotation(fact, delta.annotation)
-            if outcome.became_visible:
-                self._notify_update(INSERT, fact)
-                self._trigger_rules(delta)
-            elif annotation_changed and self.annotation_policy.propagate_updates:
-                # Value-based provenance: a new alternative derivation changed
-                # this tuple's annotation, so the update must be propagated to
-                # everything derived from it.
-                self._trigger_rules(
-                    Delta(REFRESH, fact, self._lookup_annotation(fact))
-                )
+        table = self.catalog.table(name, batch[0].fact.arity)
+        if action == INSERT:
+            for delta in batch:
+                self._apply_insert(table, firings, delta)
+        elif action == DELETE:
+            for delta in batch:
+                self._apply_delete(table, firings, delta)
         else:
-            outcome = table.delete(fact.values)
-            if outcome.became_invisible:
-                self._clear_annotation(fact)
+            for delta in batch:
+                self._apply_refresh(table, firings, delta)
+
+    def _process_delta(self, delta: Delta) -> None:
+        """Legacy single-delta processing (``pipeline="delta"``)."""
+        self.stats["deltas_processed"] += 1
+        fact = delta.fact
+        name = fact.name
+        firings = self._firings_by_predicate.get(name, ())
+        if is_event_predicate(name):
+            self._fire_rules(firings, delta)
+            return
+        table = self.catalog.table(name, fact.arity)
+        if delta.is_refresh:
+            self._apply_refresh(table, firings, delta)
+        elif delta.is_insert:
+            self._apply_insert(table, firings, delta)
+        else:
+            self._apply_delete(table, firings, delta)
+
+    # ------------------------------------------------------------------ #
+    # delta application (shared by both pipelines)
+    # ------------------------------------------------------------------ #
+    def _apply_insert(self, table: Table, firings, delta: Delta) -> None:
+        fact = delta.fact
+        outcome = table.insert(fact.values)
+        if outcome.replaced is not None:
+            self._clear_annotation(outcome.replaced)
+            if self._update_listeners:
+                self._notify_update(DELETE, outcome.replaced)
+            self._fire_rules(firings, Delta(DELETE, outcome.replaced))
+        annotation_changed = False
+        if self.annotation_policy is not None and delta.annotation is not None:
+            annotation_changed = self._store_annotation(fact, delta.annotation)
+        if outcome.became_visible:
+            if self._update_listeners:
+                self._notify_update(INSERT, fact)
+            self._fire_rules(firings, delta)
+        elif annotation_changed and self.annotation_policy.propagate_updates:
+            # Value-based provenance: a new alternative derivation changed
+            # this tuple's annotation, so the update must be propagated to
+            # everything derived from it.
+            self._fire_rules(
+                firings, Delta(REFRESH, fact, self._lookup_annotation(fact))
+            )
+
+    def _apply_delete(self, table: Table, firings, delta: Delta) -> None:
+        fact = delta.fact
+        outcome = table.delete(fact.values)
+        if outcome.became_invisible:
+            self._clear_annotation(fact)
+            if self._update_listeners:
                 self._notify_update(DELETE, fact)
-                self._trigger_rules(delta)
+            self._fire_rules(firings, delta)
+
+    def _apply_refresh(self, table: Table, firings, delta: Delta) -> None:
+        # Annotation update for a tuple that is (normally) already stored.
+        if self.annotation_policy is None or delta.annotation is None:
+            return
+        fact = delta.fact
+        if fact.values not in table:
+            # The refresh raced ahead of the insert (deltas from different
+            # derivations interleave freely).  Apply it as an insert *at
+            # this queue position*: re-enqueueing at the back would let the
+            # converted insert jump behind deltas that arrived after it —
+            # and behind the rest of its own batch — reordering annotation
+            # merges relative to FIFO arrival order.
+            self._apply_insert(table, firings, Delta(INSERT, fact, delta.annotation))
+            return
+        changed = self._store_annotation(fact, delta.annotation)
+        if changed:
+            self._fire_rules(
+                firings, Delta(REFRESH, fact, self._lookup_annotation(fact))
+            )
 
     def _notify_update(self, action: str, fact: Fact) -> None:
         for listener in self._update_listeners:
             listener(action, fact)
 
     def _trigger_rules(self, delta: Delta) -> None:
-        for rule, position in self._rules_by_predicate.get(delta.fact.name, ()):
-            self._evaluate_delta_rule(rule, position, delta)
+        firings = self._firings_by_predicate.get(delta.fact.name, ())
+        if firings:
+            self._fire_rules(firings, delta)
+
+    def _fire_rules(self, firings, delta: Delta) -> None:
+        """Fire every registered (rule, position) for *delta*'s predicate.
+
+        The batched pipeline routes matches through the closure-compiled
+        plan executors; the legacy pipeline (and the naive planner) use the
+        interpreted path.  Both preserve rule registration order, so head
+        deltas are enqueued identically.
+        """
+        if self._fast:
+            values = delta.fact.values
+            for firing in firings:
+                plan = firing.plan
+                if plan is None:
+                    # Plan not compiled yet (rule added outside add_rule's
+                    # greedy path); match generically, then compile.
+                    self._evaluate_delta_rule(firing.rule, firing.position, delta)
+                    continue
+                fused = plan.fused_exec
+                if fused is not None:
+                    # Fully fused path (zero- and one-step plans): trigger
+                    # match + probe + literals + emission in one generated
+                    # function, no binding dict.  Such plans never go stale
+                    # (staleness needs >= 2 reorderable steps).
+                    fused(plan, self, values, delta)
+                    continue
+                binder = plan.trigger_binder
+                if binder is not None:
+                    binding = binder(values)
+                else:
+                    binding = self._match_atom(plan.trigger_atom, values, {})
+                if binding is None:
+                    continue
+                # Staleness re-check mirrors _plan_for: only after a trigger
+                # match, so `executions` counts (and recompile points) are
+                # identical to the legacy pipeline's.
+                if (
+                    plan.multi_step
+                    and plan.executions % STALENESS_CHECK_PERIOD == 0
+                    and plan.is_stale(self._statistics)
+                ):
+                    plan = self._plan_compiler.compile(firing.rule, firing.position)
+                    plan.executions = 1  # keep the staleness period aligned
+                    firing.plan = plan
+                    self._plans[(id(firing.rule), firing.position)] = plan
+                    self.stats["plans_recompiled"] += 1
+                plan.execute(self, delta, binding)
+            return
+        for firing in firings:
+            self._evaluate_delta_rule(firing.rule, firing.position, delta)
 
     # ------------------------------------------------------------------ #
-    # delta-rule evaluation
+    # delta-rule evaluation (interpreted path)
     # ------------------------------------------------------------------ #
     def _evaluate_delta_rule(self, rule: Rule, position: int, delta: Delta) -> None:
         body_atoms = rule.body_atoms
@@ -423,7 +636,10 @@ class NDlogEngine:
             return
         if self.planner == "greedy":
             plan = self._plan_for(rule, position)
-            plan.execute(self, delta, binding)
+            if self._batched:
+                plan.execute(self, delta, binding)
+            else:
+                plan.execute_interpreted(self, delta, binding)
             return
         partial = [(trigger_atom, delta.fact)]
         self._join_remaining(rule, body_atoms, position, binding, partial, delta)
@@ -589,14 +805,17 @@ class NDlogEngine:
     ) -> None:
         compiled = self._aggregate_rules[rule.label]
         spec = compiled.spec
-        group_values: List[Any] = []
-        for index, arg in enumerate(rule.head.args):
-            if index == compiled.aggregate_index:
-                continue
-            group_values.append(arg.evaluate(env, self.functions))
-        group_key = tuple(
-            tuple(v) if isinstance(v, list) else v for v in group_values
-        )
+        group_values: List[Any] = [fn(env, self.functions) for fn in compiled.group_fns]
+        # Fast path: scalar group values (the common case) key directly; an
+        # unhashable tuple means a list member, which freezes to the same
+        # key form the slow path always produced.
+        group_key = tuple(group_values)
+        try:
+            hash(group_key)
+        except TypeError:
+            group_key = tuple(
+                tuple(v) if isinstance(v, list) else v for v in group_values
+            )
         if spec.is_star:
             aggregated_value: Any = 1
         elif len(spec.variables_) == 1:
@@ -661,7 +880,7 @@ class NDlogEngine:
         source_delta: Delta,
     ) -> None:
         self.stats["rule_firings"] += 1
-        if action != REFRESH:
+        if self._rule_listeners and action != REFRESH:
             firing = RuleFiring(
                 rule=rule,
                 action=action,
@@ -682,10 +901,15 @@ class NDlogEngine:
                 rule, body_annotations, self.address
             )
 
-        destination = head_fact.location
-        delta = Delta(action, head_fact, annotation)
+        destination = head_fact.values[head_fact.location_index]
+        # Construct the delta without __init__: `action` was validated when
+        # the source delta (or aggregate emission constant) was built.
+        delta = _new_delta(Delta)
+        delta.action = action
+        delta.fact = head_fact
+        delta.annotation = annotation
         if destination == self.address:
-            self.enqueue(delta)
+            self._queue.append(delta)
         else:
             self.stats["deltas_sent"] += 1
             if self._send is None:
@@ -699,7 +923,12 @@ class NDlogEngine:
     # annotations (value-based provenance support)
     # ------------------------------------------------------------------ #
     def _annotation_key(self, fact: Fact) -> Tuple[str, Tuple[Any, ...]]:
-        return (fact.name, tuple(_hashable(v) for v in fact.values))
+        values = fact.values
+        try:
+            hash(values)
+        except TypeError:
+            values = tuple(_hashable(v) for v in values)
+        return (fact.name, values)
 
     def _store_annotation(self, fact: Fact, annotation: Any) -> bool:
         """Merge *annotation* into the store; return True when it changed."""
@@ -726,7 +955,8 @@ class NDlogEngine:
         return self._annotations.get(self._annotation_key(fact))
 
     def _clear_annotation(self, fact: Fact) -> None:
-        self._annotations.pop(self._annotation_key(fact), None)
+        if self._annotations:
+            self._annotations.pop(self._annotation_key(fact), None)
 
     def _annotation_for(self, fact: Fact, source_delta: Delta) -> Any:
         if (
@@ -766,6 +996,10 @@ class _Unbound:
 
 
 _UNBOUND = _Unbound()
+
+#: Raw allocator used by _emit to skip Delta.__init__ validation for
+#: internally-constructed deltas (their action is always already valid).
+_new_delta = Delta.__new__
 
 
 def _hashable(value: Any) -> Any:

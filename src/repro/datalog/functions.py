@@ -18,7 +18,15 @@ from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 from .errors import EvaluationError, UnknownFunctionError
 
-__all__ = ["FunctionRegistry", "default_registry", "sha1_hex"]
+__all__ = [
+    "FunctionRegistry",
+    "default_registry",
+    "sha1_hex",
+    "freeze_cache_key",
+    "set_sha1_caching",
+    "sha1_cache_stats",
+    "clear_sha1_cache",
+]
 
 
 #: Number of hex characters kept from the SHA-1 digest.  The paper ships
@@ -38,6 +46,66 @@ def sha1_hex(text: str) -> str:
     return hashlib.sha1(text.encode("utf-8")).hexdigest()[:DIGEST_LENGTH]
 
 
+# ---------------------------------------------------------------------- #
+# f_sha1 memoization
+# ---------------------------------------------------------------------- #
+#: Upper bound on cached ``f_sha1`` results.  Each entry holds the frozen
+#: argument tuple plus a 20-character digest (roughly 200-400 bytes), so the
+#: cache tops out around 30-60 MB before it is dropped wholesale and
+#: rebuilt — crude but bounded, and the hit rate recovers within one
+#: fixpoint round because the hot keys (tuple VID preimages) recur densely.
+SHA1_CACHE_LIMIT = 1 << 17
+
+_sha1_cache: Dict[tuple, str] = {}
+_sha1_caching = True
+_sha1_hits = 0
+_sha1_misses = 0
+
+
+def set_sha1_caching(enabled: bool) -> None:
+    """Toggle ``f_sha1`` memoization (benchmarks use this for before/after)."""
+    global _sha1_caching
+    _sha1_caching = bool(enabled)
+    if not _sha1_caching:
+        _sha1_cache.clear()
+
+
+def clear_sha1_cache() -> None:
+    """Drop every cached digest (tests / benchmark isolation)."""
+    global _sha1_hits, _sha1_misses
+    _sha1_cache.clear()
+    _sha1_hits = 0
+    _sha1_misses = 0
+
+
+def sha1_cache_stats() -> Dict[str, int]:
+    """Entries / hits / misses / limit of the ``f_sha1`` memo (diagnostics)."""
+    return {
+        "entries": len(_sha1_cache),
+        "hits": _sha1_hits,
+        "misses": _sha1_misses,
+        "limit": SHA1_CACHE_LIMIT,
+    }
+
+
+def freeze_cache_key(value: Any) -> Any:
+    """Hashable cache-key form of one hash-input value.
+
+    Lists become tuples, which is safe because :func:`_stringify` (and
+    ``repro.core.vid.render_value``) render both identically — equal keys
+    always map to equal digests.  Shared by the ``f_sha1`` memo here and
+    the ``tuple_vid`` memo in :mod:`repro.core.vid`; values that remain
+    unhashable (sets, dicts) surface as ``TypeError`` at the cache lookup,
+    which callers treat as "skip the cache".
+    """
+    cls = value.__class__
+    if cls is str:  # the dominant case: names, addresses, digests
+        return value
+    if cls is list or cls is tuple or isinstance(value, (list, tuple)):
+        return tuple(map(freeze_cache_key, value))
+    return value
+
+
 def _stringify(value: Any) -> str:
     """Render *value* for hashing the way NDlog string concatenation does.
 
@@ -45,6 +113,8 @@ def _stringify(value: Any) -> str:
     that ``f_sha1(R + RLoc + List)`` in rewritten provenance rules matches
     :func:`repro.core.vid.rule_rid`, which joins the input VIDs directly.
     """
+    if value.__class__ is str:  # the dominant case on the provenance path
+        return value
     if isinstance(value, bool):
         return "1" if value else "0"
     if isinstance(value, float) and value.is_integer():
@@ -52,13 +122,46 @@ def _stringify(value: Any) -> str:
     if value is None:
         return ""
     if isinstance(value, (list, tuple)):
-        return "".join(_stringify(item) for item in value)
+        return "".join(map(_stringify, value))
     return str(value)
 
 
 def _f_sha1(args: Sequence[Any]) -> str:
-    """``f_sha1(X)`` — SHA-1 of the concatenation of all arguments."""
-    return sha1_hex("".join(_stringify(arg) for arg in args))
+    """``f_sha1(X)`` — SHA-1 of the concatenation of all arguments.
+
+    Memoized on the (frozen) argument tuple: the provenance rewrite
+    recomputes the same tuple-VID preimages on every rule firing a tuple
+    participates in, so each distinct preimage is stringified and hashed
+    once per cache lifetime instead of once per firing.
+    """
+    global _sha1_hits, _sha1_misses
+    if _sha1_caching:
+        # Most calls carry only scalars: try the raw argument tuple first
+        # (C-speed) and freeze lists into tuples only when hashing rejects
+        # it.  Both key forms coexist safely: a hashable raw tuple IS its
+        # own frozen image (lists are the only values freeze_cache_key changes,
+        # and any list makes the raw tuple unhashable).
+        try:
+            key = tuple(args)
+            digest = _sha1_cache.get(key)
+        except TypeError:
+            try:
+                key = tuple(map(freeze_cache_key, args))
+                digest = _sha1_cache.get(key)
+            except TypeError:  # unhashable argument (e.g. a dict): no cache
+                key = None
+                digest = None
+        if key is not None:
+            if digest is not None:
+                _sha1_hits += 1
+                return digest
+            _sha1_misses += 1
+            digest = sha1_hex("".join(map(_stringify, args)))
+            if len(_sha1_cache) >= SHA1_CACHE_LIMIT:
+                _sha1_cache.clear()
+            _sha1_cache[key] = digest
+            return digest
+    return sha1_hex("".join(map(_stringify, args)))
 
 
 def _f_concat(args: Sequence[Any]) -> List[Any]:

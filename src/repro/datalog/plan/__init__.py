@@ -17,6 +17,7 @@ left-to-right nested-loop strategy for comparison); plans never change what
 a rule derives, only how many tuples are scanned deriving it.
 """
 
+from .compiled_exec import compile_term
 from .compiler import CompiledDeltaPlan, CompiledStep, LookupSpec, PlanCompiler
 from .cost import CatalogStatistics, CostEstimate, CostModel, DEFAULT_SELECTIVITY
 from .explain import explain_plan, explain_plans
@@ -42,6 +43,7 @@ __all__ = [
     "LookupSpec",
     "NormalizedRule",
     "OrderedStep",
+    "compile_term",
     "construct_join_graph",
     "explain_plan",
     "explain_plans",

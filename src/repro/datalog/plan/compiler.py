@@ -14,9 +14,21 @@ For every rule and every body-atom position a delta can arrive at, the
 * the secondary indexes each step needs, registered eagerly with the
   :class:`~repro.datalog.plan.indexes.IndexManager`.
 
+Every plan carries two execution forms:
+
+* :meth:`CompiledDeltaPlan.execute` — the *batched-pipeline* form built
+  from closure-compiled primitives (:mod:`.compiled_exec`): trigger
+  binders, per-step matchers, precomputed index key tuples and compiled
+  literal/head evaluators.  This is what the engine's batched delta
+  pipeline runs.
+* :meth:`CompiledDeltaPlan.execute_interpreted` — the original
+  term-tree-walking interpreter, retained verbatim.  The legacy per-delta
+  pipeline (``pipeline="delta"``) runs it, the equivalence tests compare
+  the two, and the speedup benchmarks use it as the "before" measurement.
+
 Equivalence with the naive path is a hard requirement (the engine's results
-feed provenance VIDs and annotations), so execution is careful to mirror
-the naive semantics exactly:
+feed provenance VIDs and annotations), so both executions are careful to
+mirror the naive semantics exactly:
 
 * lookup constraints are built only from variables bound by the trigger
   atom and earlier *atoms* — never from assignment-derived variables, which
@@ -27,7 +39,10 @@ the naive semantics exactly:
   pruning, so error behaviour is unchanged;
 * matched body facts are handed to the engine in the naive order (trigger
   first, then remaining atoms in body order) regardless of the join order,
-  keeping provenance annotation combination bit-identical.
+  keeping provenance annotation combination bit-identical;
+* the ``index_lookups`` / ``full_scans`` / ``tuples_scanned`` counters are
+  incremented identically by both forms (they are stored in benchmark
+  artifacts the CI regression gate byte-compares).
 """
 
 from __future__ import annotations
@@ -36,7 +51,19 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..ast import Assignment, Atom, Fact, Rule
+from ..catalog import freeze_value
 from ..errors import EvaluationError
+from .compiled_exec import (
+    compile_head,
+    compile_head_tuple,
+    compile_literals,
+    compile_step_matcher,
+    compile_term,
+    compile_trigger_binder,
+    generate_finalizer,
+    generate_one_step_executor,
+    generate_zero_step_executor,
+)
 from .cost import CatalogStatistics, CostModel
 from .indexes import IndexManager
 from .join_graph import JoinGraph, construct_join_graph
@@ -52,6 +79,18 @@ STALENESS_CHECK_PERIOD = 64
 STALENESS_RATIO = 8.0
 #: ... and by at least this many rows before a plan is considered stale.
 STALENESS_MIN_DELTA = 32
+
+#: Compiled key-source kinds (see _ExecStep).
+_KEY_VAR = 0
+_KEY_CONST = 1
+_KEY_EXPR = 2
+
+#: Process-wide memo of the join-order-independent compiled parts of a
+#: plan, keyed by (id(rule), trigger position).  Values pin the rule object
+#: so a recycled id can never alias a different rule; the cache is dropped
+#: wholesale at the (generous) limit to stay bounded across long sweeps.
+_STATIC_PARTS: Dict[Tuple[int, int], Tuple[Any, ...]] = {}
+_STATIC_PARTS_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -80,6 +119,71 @@ class CompiledStep:
     key_covered: bool
 
 
+class _ExecStep:
+    """Runtime form of one join step: closures instead of term trees."""
+
+    __slots__ = (
+        "atom",
+        "name",
+        "location_index",
+        "body_position",
+        "matcher",
+        "full_positions",
+        "full_sources",
+        "fallback_positions",
+        "fallback_sources",
+        "has_expr",
+        "prefix_literals",
+    )
+
+    def __init__(self, step: CompiledStep, bound_vars, literals_c):
+        atom = step.atom
+        self.atom = atom
+        self.name = atom.name
+        self.location_index = atom.location_index
+        self.body_position = step.body_position
+        self.matcher = compile_step_matcher(atom, bound_vars)
+        self.prefix_literals = literals_c[: step.literal_prefix]
+        # Key sources in canonical (sorted-position) order — the order
+        # Table.lookup derives from a constraints dict, and the order the
+        # registered indexes hash their keys in.
+        ordered = sorted(step.lookups, key=lambda spec: spec.position)
+        sources = []
+        fallback_positions = []
+        fallback_sources = []
+        has_expr = False
+        for spec in ordered:
+            if spec.kind == "var":
+                source = (_KEY_VAR, spec.source)
+                fallback_positions.append(spec.position)
+                fallback_sources.append(source)
+            elif spec.kind == "const":
+                source = (_KEY_CONST, freeze_value(spec.source))
+                fallback_positions.append(spec.position)
+                fallback_sources.append(source)
+            else:
+                source = (_KEY_EXPR, compile_term(spec.source))
+                has_expr = True
+            sources.append(source)
+        self.full_positions = tuple(spec.position for spec in ordered)
+        self.full_sources = tuple(sources)
+        self.fallback_positions = tuple(fallback_positions)
+        self.fallback_sources = tuple(fallback_sources)
+        self.has_expr = has_expr
+
+    def build_key(self, sources, binding, functions) -> Tuple[Any, ...]:
+        """Evaluate the key sources; EvaluationError propagates (expr only)."""
+        key = []
+        for kind, payload in sources:
+            if kind == _KEY_VAR:
+                key.append(freeze_value(binding[payload]))
+            elif kind == _KEY_CONST:
+                key.append(payload)
+            else:
+                key.append(freeze_value(payload(binding, functions)))
+        return tuple(key)
+
+
 @dataclass
 class CompiledDeltaPlan:
     """A ready-to-run evaluation plan for one (rule, trigger position)."""
@@ -97,6 +201,81 @@ class CompiledDeltaPlan:
     cardinality_snapshot: Mapping[str, int]
     estimated_scan: float
     executions: int = 0
+
+    def __post_init__(self) -> None:
+        # Closure-compiled runtime forms (see module docstring).  These are
+        # pure specializations: they never change results, only dispatch.
+        #
+        # Everything that does not depend on the chosen join order — the
+        # trigger binder, literal/head closures and the two exec-generated
+        # functions — is memoized per (rule, trigger position) in a
+        # process-wide cache: every node of a network loads the same
+        # program, and staleness recompiles only reorder join steps, so
+        # regenerating (and re-`compile()`-ing) these per engine and per
+        # recompile wasted a large share of network construction time.
+        self.multi_step = len(self.steps) >= 2
+        key = (id(self.rule), self.trigger_position)
+        cached = _STATIC_PARTS.get(key)
+        if cached is None or cached[0] is not self.rule:
+            is_aggregate = self.rule.is_aggregate_rule
+            head = None if is_aggregate else self.rule.head
+            literals_c = compile_literals(self.literals)
+            if not self.steps:
+                fused = generate_zero_step_executor(
+                    self.trigger_atom, self.literals, head, is_aggregate
+                )
+            elif len(self.steps) == 1:
+                # A single-step plan has exactly one possible join order, so
+                # its fused executor is as stable as the zero-step one.
+                fused = generate_one_step_executor(
+                    self.trigger_atom,
+                    self.steps[0],
+                    self.literals,
+                    head,
+                    is_aggregate,
+                    self.initial_literal_prefix,
+                )
+            else:
+                fused = None
+            cached = (
+                self.rule,  # pins the id against reuse after GC
+                compile_trigger_binder(self.trigger_atom),
+                literals_c,
+                None if is_aggregate else compile_head(self.rule.head),
+                None if is_aggregate else compile_head_tuple(self.rule.head),
+                generate_finalizer(self.literals, head, is_aggregate),
+                fused,
+                is_aggregate,
+            )
+            if len(_STATIC_PARTS) >= _STATIC_PARTS_LIMIT:
+                _STATIC_PARTS.clear()
+            _STATIC_PARTS[key] = cached
+        (
+            _rule,
+            self.trigger_binder,
+            literals_c,
+            self._head_fns,
+            self._head_tuple,
+            self._finalize_c,
+            self.fused_exec,
+            self._is_aggregate,
+        ) = cached
+        self._literals_c = literals_c
+        self._initial_prefix_literals = literals_c[: self.initial_literal_prefix]
+        bound = {
+            arg.name
+            for arg in self.trigger_atom.args
+            if getattr(arg, "is_wildcard", None) is False
+        }
+        exec_steps = []
+        for step in self.steps:
+            exec_steps.append(_ExecStep(step, frozenset(bound), literals_c))
+            bound.update(
+                arg.name
+                for arg in step.atom.args
+                if getattr(arg, "is_wildcard", None) is False
+            )
+        self._exec_steps = tuple(exec_steps)
 
     # ------------------------------------------------------------------ #
     # staleness
@@ -123,10 +302,179 @@ class CompiledDeltaPlan:
         return False
 
     # ------------------------------------------------------------------ #
-    # execution
+    # batched-pipeline execution (closure-compiled fast path)
     # ------------------------------------------------------------------ #
     def execute(self, engine, delta, binding: Dict[str, Any]) -> None:
-        """Run the plan for *delta* given the trigger atom's *binding*."""
+        """Run the compiled plan for *delta* given the trigger *binding*."""
+        self.executions += 1
+        if not self._exec_steps:
+            finalize = self._finalize_c
+            if finalize is not None:
+                finalize(self, engine, binding, (delta.fact,), delta)
+            else:
+                self._finalize(engine, binding, (delta.fact,), delta)
+            return
+        if self._initial_prefix_literals and not self._apply_prefix(
+            engine, binding, self._initial_prefix_literals
+        ):
+            return
+        self._join_compiled(engine, delta, binding, 0, {})
+
+    def _join_compiled(
+        self,
+        engine,
+        delta,
+        binding: Dict[str, Any],
+        step_index: int,
+        facts: Dict[int, Fact],
+    ) -> None:
+        step = self._exec_steps[step_index]
+        table = engine.catalog.table(step.name)
+        stats = engine.stats
+        functions = engine.functions
+        positions = step.full_positions
+        key = None
+        if positions:
+            if step.has_expr:
+                try:
+                    key = step.build_key(step.full_sources, binding, functions)
+                except EvaluationError:
+                    # Same fallback as the interpreter: drop every
+                    # expression constraint, keep the var/const ones, and
+                    # let the per-row match filter (identically to naive).
+                    positions = step.fallback_positions
+                    if positions:
+                        key = step.build_key(
+                            step.fallback_sources, binding, functions
+                        )
+            else:
+                key = step.build_key(step.full_sources, binding, functions)
+        if positions:
+            stats["index_lookups"] += 1
+            bucket = table.probe(positions, key)
+            if bucket:
+                rows = bucket
+                scanned = len(bucket)
+            else:
+                rows = ()
+                scanned = 0
+        else:
+            stats["full_scans"] += 1
+            rows = table.rows_list()
+            scanned = len(rows)
+        matcher = step.matcher
+        prefix = step.prefix_literals
+        last = step_index + 1 == len(self._exec_steps)
+        finalize = self._finalize_c
+        for row in rows:
+            if matcher is not None:
+                extended = matcher(row, binding)
+            else:
+                extended = engine._match_atom(step.atom, row, binding)
+            if extended is None:
+                continue
+            if prefix and not self._apply_prefix(engine, extended, prefix):
+                continue
+            facts[step.body_position] = Fact(step.name, row, step.location_index)
+            if last:
+                body_facts = (delta.fact, *(facts[p] for p, _ in self.body_order))
+                if finalize is not None:
+                    finalize(self, engine, extended, body_facts, delta)
+                else:
+                    self._finalize(engine, extended, body_facts, delta)
+            else:
+                self._join_compiled(engine, delta, extended, step_index + 1, facts)
+        stats["tuples_scanned"] += scanned
+
+    def _finalize(self, engine, binding, body_facts, delta) -> None:
+        """Compiled finalization: literals, then aggregate or head emission.
+
+        Mirrors ``NDlogEngine._finalize_binding`` exactly, including the
+        error-message wrapping.  Unlike the interpreter it takes *ownership*
+        of ``binding`` instead of copying it into a fresh environment: every
+        caller on the compiled path hands over a dict built for exactly one
+        finalization (the trigger binder's, or a step matcher's extension),
+        so mutating it in place is unobservable.
+        """
+        env = binding
+        functions = engine.functions
+        for is_assign, name, fn, literal in self._literals_c:
+            if is_assign:
+                try:
+                    env[name] = fn(env, functions)
+                except EvaluationError as exc:
+                    raise EvaluationError(
+                        f"rule {self.rule.label}: failed to evaluate {literal}: {exc}"
+                    ) from exc
+            else:
+                try:
+                    passed = fn(env, functions)
+                except EvaluationError as exc:
+                    raise EvaluationError(
+                        f"rule {self.rule.label}: failed to evaluate {literal}: {exc}"
+                    ) from exc
+                if not passed:
+                    return
+        if self._is_aggregate:
+            engine._apply_aggregate(self.rule, env, body_facts, delta)
+            return
+        head = self.rule.head
+        head_tuple = self._head_tuple
+        if head_tuple is not None:
+            head_values: Any = head_tuple(env)
+        else:
+            head_values = [fn(env, functions) for fn in self._head_fns]
+        head_fact = Fact(head.name, head_values, head.location_index)
+        engine._emit(self.rule, delta.action, head_fact, env, body_facts, delta)
+
+    def _finalize_replay(self, engine, body_facts, delta) -> None:
+        """Re-run one finalization through the interpreter.
+
+        The generated finalizer (:func:`.compiled_exec.generate_finalizer`)
+        delegates here on *any* exception: evaluation is pure, so replaying
+        from a freshly reconstructed binding reproduces the interpreter's
+        exact behaviour — including its wrapped error messages — without
+        the generated code carrying per-literal error handling.  The
+        binding is rebuilt from the already-matched body facts (the
+        generated code may have mutated its env before failing).
+        """
+        binding = engine._match_atom(self.trigger_atom, body_facts[0].values, {})
+        matched = [(self.trigger_atom, body_facts[0])]
+        for (_, atom), fact in zip(self.body_order, body_facts[1:]):
+            if binding is None:
+                break
+            binding = engine._match_atom(atom, fact.values, binding)
+            matched.append((atom, fact))
+        if binding is None:  # pragma: no cover - facts matched moments ago
+            raise EvaluationError(
+                f"rule {self.rule.label}: internal error re-matching body facts"
+            )
+        engine._finalize_binding(self.rule, binding, matched, delta)
+
+    @staticmethod
+    def _apply_prefix(engine, binding, literals) -> bool:
+        """Compiled pushdown prefix; same deferral semantics as interpreted."""
+        env = dict(binding)
+        functions = engine.functions
+        for is_assign, name, fn, _literal in literals:
+            if is_assign:
+                try:
+                    env[name] = fn(env, functions)
+                except EvaluationError:
+                    return True
+            else:
+                try:
+                    if not fn(env, functions):
+                        return False
+                except EvaluationError:
+                    return True
+        return True
+
+    # ------------------------------------------------------------------ #
+    # interpreted execution (legacy pipeline and equivalence reference)
+    # ------------------------------------------------------------------ #
+    def execute_interpreted(self, engine, delta, binding: Dict[str, Any]) -> None:
+        """Run the plan by walking term trees (the pre-batching code path)."""
         self.executions += 1
         if not self.steps:
             matched = [(self.trigger_atom, delta.fact)]

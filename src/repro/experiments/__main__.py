@@ -32,6 +32,7 @@ from .orchestrator import (
     compare,
     run,
     strict_compare,
+    wall_clock_report,
 )
 from .scenarios import SCENARIOS
 
@@ -76,6 +77,11 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
 
 
 def _cmd_compare(arguments: argparse.Namespace) -> int:
+    if arguments.wall_clock_only:
+        # Advisory view only: never gates, always exits 0 (the CI bench job
+        # prints this into the job summary after the real gate ran).
+        print(wall_clock_report(arguments.baseline, arguments.candidate))
+        return 0
     report = compare(
         arguments.baseline,
         arguments.candidate,
@@ -83,6 +89,8 @@ def _cmd_compare(arguments: argparse.Namespace) -> int:
     )
     print(report.render())
     status = 0 if report.ok else 1
+    if arguments.wall_clock:
+        print(wall_clock_report(arguments.baseline, arguments.candidate))
     if arguments.strict:
         mismatched = strict_compare(arguments.baseline, arguments.candidate)
         if mismatched:
@@ -150,7 +158,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.add_argument(
         "--strict", action="store_true",
-        help="also require byte-identical artifacts (determinism check)",
+        help="also require byte-identical artifacts (determinism check; "
+        "advisory wall_seconds fields are excluded)",
+    )
+    compare_parser.add_argument(
+        "--wall-clock", action="store_true",
+        help="also print advisory per-scenario wall-clock deltas (not gated)",
+    )
+    compare_parser.add_argument(
+        "--wall-clock-only", action="store_true",
+        help="print only the advisory wall-clock deltas and exit 0",
     )
     compare_parser.set_defaults(handler=_cmd_compare)
     return parser

@@ -31,6 +31,7 @@ import hashlib
 import inspect
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -49,16 +50,19 @@ __all__ = [
     "ARTIFACT_PREFIX",
     "DEFAULT_RESULTS_DIR",
     "DEFAULT_COMPARE_KEYS",
+    "ADVISORY_TRIAL_KEYS",
     "trial_fingerprint",
     "artifact_path",
     "load_artifact",
     "dump_artifact",
+    "canonical_artifact_bytes",
     "RunReport",
     "run",
     "Regression",
     "CompareReport",
     "compare",
     "strict_compare",
+    "wall_clock_report",
     "figure_result_from_artifact",
 ]
 
@@ -68,6 +72,13 @@ SCHEMA_VERSION = 1
 
 ARTIFACT_PREFIX = "BENCH_"
 DEFAULT_RESULTS_DIR = "results"
+
+#: Trial-record fields that are *advisory*: machine-dependent measurements
+#: excluded from fingerprints, from ``compare``'s regression gate, and from
+#: ``strict_compare``'s byte-identity check.  ``wall_seconds`` tracks real
+#: per-trial wall-clock so the BENCH artifacts carry a speed trajectory
+#: without breaking determinism guarantees.
+ADVISORY_TRIAL_KEYS: Tuple[str, ...] = ("wall_seconds",)
 
 #: Counters the regression gate watches, searched in each trial's
 #: ``planner`` and ``traffic`` sections (a key absent from the *baseline*
@@ -119,6 +130,34 @@ def dump_artifact(path: str, artifact: Mapping[str, Any]) -> None:
         handle.write("\n")
 
 
+def _strip_advisory(artifact: Mapping[str, Any]) -> Dict[str, Any]:
+    """A copy of *artifact* with the advisory per-trial fields removed."""
+    stripped = dict(artifact)
+    stripped["trials"] = [
+        {key: value for key, value in trial.items() if key not in ADVISORY_TRIAL_KEYS}
+        if isinstance(trial, dict)
+        else trial
+        for trial in artifact.get("trials", ())
+    ]
+    return stripped
+
+
+def canonical_artifact_bytes(path: str) -> Optional[bytes]:
+    """The artifact's canonical bytes with advisory fields stripped.
+
+    This is what determinism checks must compare: two runs of the same
+    tree are identical except for the machine-dependent advisory fields
+    (see :data:`ADVISORY_TRIAL_KEYS`).  Returns ``None`` for missing or
+    unreadable artifacts.
+    """
+    artifact = load_artifact(path)
+    if artifact is None:
+        return None
+    return (
+        json.dumps(_strip_advisory(artifact), sort_keys=True, indent=2) + "\n"
+    ).encode("utf-8")
+
+
 def _build_artifact(
     scenario: Scenario,
     scale: str,
@@ -153,9 +192,18 @@ def _fresh_results(
 
 
 def _run_task(task: Tuple[str, str, str, Dict[str, Any]]) -> Dict[str, Any]:
-    """Worker entry point: run one trial spec (must stay module-level)."""
+    """Worker entry point: run one trial spec (must stay module-level).
+
+    Returns ``{"result": ..., "wall_seconds": ...}``; the wall-clock is
+    advisory (see :data:`ADVISORY_TRIAL_KEYS`).
+    """
     scenario, trial_id, fn, kwargs = task
-    return run_trial_spec(TrialSpec(scenario, trial_id, fn, kwargs))
+    started = time.perf_counter()
+    result = run_trial_spec(TrialSpec(scenario, trial_id, fn, kwargs))
+    return {
+        "result": result,
+        "wall_seconds": round(time.perf_counter() - started, 3),
+    }
 
 
 def _accepts_planner(fn_name: str) -> bool:
@@ -269,18 +317,25 @@ def run(
         for spec, fingerprint in zip(specs, fingerprints):
             key = (spec.scenario, spec.trial_id)
             if key in executed:
-                result = executed[key]
+                outcome = executed[key]
+                result = outcome["result"]
+                wall_seconds = outcome["wall_seconds"]
             else:
-                result = fresh[(spec.trial_id, fingerprint)]["result"]
-            trials.append(
-                {
-                    "id": spec.trial_id,
-                    "fn": spec.fn,
-                    "kwargs": dict(spec.kwargs),
-                    "fingerprint": fingerprint,
-                    "result": result,
-                }
-            )
+                reused = fresh[(spec.trial_id, fingerprint)]
+                result = reused["result"]
+                # Advisory: a resumed trial keeps the wall-clock measured
+                # when it actually ran (absent in pre-wall_seconds files).
+                wall_seconds = reused.get("wall_seconds")
+            trial: Dict[str, Any] = {
+                "id": spec.trial_id,
+                "fn": spec.fn,
+                "kwargs": dict(spec.kwargs),
+                "fingerprint": fingerprint,
+                "result": result,
+            }
+            if wall_seconds is not None:
+                trial["wall_seconds"] = wall_seconds
+            trials.append(trial)
         path = artifact_path(results_dir, scenario.name)
         dump_artifact(path, _build_artifact(scenario, scale, params, trials))
         report.artifacts.append(path)
@@ -391,7 +446,13 @@ def compare(
         # Fail closed: an empty/missing baseline dir checks nothing, and a
         # gate that checks nothing must not report success.
         report.regressions.append(
-            Regression("<baseline>", "*", f"no baseline artifacts under {baseline_dir!r}", None, None)
+            Regression(
+                "<baseline>",
+                "*",
+                f"no baseline artifacts under {baseline_dir!r}",
+                None,
+                None,
+            )
         )
     candidate_only = set(_artifact_files(candidate_dir)) - set(baseline_files)
     for name in sorted(candidate_only):
@@ -459,26 +520,71 @@ def strict_compare(baseline_dir: str, candidate_dir: str) -> List[str]:
     """Byte-compare the artifact sets in two directories, both ways.
 
     Returns the names of artifacts that differ or exist on only one side —
-    the determinism check behind "parallel runs are byte-identical".  An
-    empty pair of directories is reported as a mismatch (nothing compared
-    is not evidence of determinism).
+    the determinism check behind "parallel runs are byte-identical".
+    Advisory per-trial fields (:data:`ADVISORY_TRIAL_KEYS`) are stripped
+    before comparing: wall-clock varies run to run by design, everything
+    else must match byte for byte.  An empty pair of directories is
+    reported as a mismatch (nothing compared is not evidence of
+    determinism).
     """
     names = sorted(set(_artifact_files(baseline_dir)) | set(_artifact_files(candidate_dir)))
     if not names:
         return [f"<no artifacts under {baseline_dir!r} or {candidate_dir!r}>"]
     mismatched: List[str] = []
     for name in names:
-        try:
-            with open(os.path.join(baseline_dir, name), "rb") as handle:
-                left = handle.read()
-            with open(os.path.join(candidate_dir, name), "rb") as handle:
-                right = handle.read()
-        except OSError:
-            mismatched.append(name)
-            continue
-        if left != right:
+        left = canonical_artifact_bytes(os.path.join(baseline_dir, name))
+        right = canonical_artifact_bytes(os.path.join(candidate_dir, name))
+        if left is None or right is None or left != right:
             mismatched.append(name)
     return mismatched
+
+
+def wall_clock_report(baseline_dir: str, candidate_dir: str) -> str:
+    """Render the advisory per-scenario wall-clock deltas (never gating).
+
+    Sums each artifact's per-trial ``wall_seconds`` on both sides and
+    reports the relative change.  Scenarios missing the field on either
+    side (old artifacts) are reported as such rather than skipped.
+    """
+    lines = ["wall-clock (advisory, not gated):"]
+    names = sorted(
+        set(_artifact_files(baseline_dir)) | set(_artifact_files(candidate_dir))
+    )
+    if not names:
+        return lines[0] + " no artifacts found"
+
+    def _total(directory: str, name: str) -> Optional[float]:
+        artifact = load_artifact(os.path.join(directory, name))
+        if artifact is None:
+            return None
+        walls = [
+            trial.get("wall_seconds")
+            for trial in artifact.get("trials", ())
+            if isinstance(trial, dict)
+        ]
+        if not walls or any(value is None for value in walls):
+            return None
+        return sum(walls)
+
+    for name in names:
+        scenario = name[len(ARTIFACT_PREFIX) : -len(".json")]
+        base = _total(baseline_dir, name)
+        cand = _total(candidate_dir, name)
+        if base is None or cand is None:
+            sides = []
+            if base is None:
+                sides.append("baseline")
+            if cand is None:
+                sides.append("candidate")
+            lines.append(
+                f"  {scenario:<28} no wall_seconds in {' and '.join(sides)}"
+            )
+            continue
+        ratio = (cand / base) if base else float("inf")
+        lines.append(
+            f"  {scenario:<28} {base:8.2f}s -> {cand:8.2f}s  ({ratio:5.2f}x)"
+        )
+    return "\n".join(lines)
 
 
 def figure_result_from_artifact(artifact: Mapping[str, Any]):

@@ -20,6 +20,15 @@ __all__ = ["Host"]
 class Host:
     """One node of the simulated network."""
 
+    __slots__ = (
+        "address",
+        "network",
+        "_handlers",
+        "messages_received",
+        "bytes_received",
+        "up",
+    )
+
     def __init__(self, address: Any, network: "Network"):
         self.address = address
         self.network = network

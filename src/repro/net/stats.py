@@ -9,7 +9,7 @@ completion latency distributions (Figures 12, 14), and fixpoint latency
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -25,9 +25,13 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageRecord:
-    """One sent message: when, who, how many bytes, and what kind."""
+    """One sent message: when, who, how many bytes, and what kind.
+
+    Slotted: paper-scale sweeps record hundreds of thousands of these per
+    trial, so the per-instance dict would dominate the collector's memory.
+    """
 
     time: float
     source: Any

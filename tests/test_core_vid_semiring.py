@@ -48,6 +48,27 @@ class TestVids:
         vids = [tuple_vid("link", ("b", "a", 3)), tuple_vid("bestPathCost", ("b", "c", 2))]
         assert rule_rid("sp2", "b", vids) == registry.call("f_sha1", ["sp2", "b", vids])
 
+    def test_memoized_vid_equals_uncached_and_survives_odd_values(self):
+        """The bounded cache must change nothing — including for values the
+        cache key cannot hash (sets fall through to direct computation)."""
+        from repro.core.vid import clear_vid_caches, set_vid_caching, vid_cache_stats
+
+        cases = [
+            ("link", ("b", "c", 2)),
+            ("path", ("a", "b", 3, ["a", "b"])),  # list attribute
+            ("odd", ({"x"},)),  # unhashable attribute: cache skipped
+            ("odd", (None, True, 2.0)),
+        ]
+        set_vid_caching(False)
+        uncached = [tuple_vid(name, values) for name, values in cases]
+        set_vid_caching(True)
+        clear_vid_caches()
+        cached_cold = [tuple_vid(name, values) for name, values in cases]
+        cached_warm = [tuple_vid(name, values) for name, values in cases]
+        assert uncached == cached_cold == cached_warm
+        stats = vid_cache_stats()
+        assert stats["vid"]["hits"] >= 3  # the hashable cases hit on re-query
+
     def test_float_costs_render_like_ints(self):
         assert tuple_vid("link", ("a", "b", 3.0)) == tuple_vid("link", ("a", "b", 3))
 

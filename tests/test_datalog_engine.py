@@ -399,6 +399,62 @@ class TestAnnotations:
         assert engine.annotation_of(Fact("reach", ("n", "m"))) is None
 
 
+class TestRefreshRacesAheadOfInsert:
+    """Regression: a REFRESH arriving before its INSERT must not jump the queue.
+
+    The old fallback re-enqueued the converted INSERT at the *back* of the
+    queue, letting deltas that arrived later (including the rest of the
+    refresh's own batch) overtake it.  The fix applies the conversion at
+    the refresh's own queue position, preserving FIFO arrival order — in
+    both the batched and the legacy pipeline.
+    """
+
+    def _engine(self, pipeline: str) -> NDlogEngine:
+        engine = NDlogEngine(
+            "n",
+            parse_program("r1 reach(@S,D) :- red(@S,D)."),
+            annotation_policy=_SetAnnotationPolicy(),
+            pipeline=pipeline,
+        )
+        return engine
+
+    @pytest.mark.parametrize("pipeline", ["batched", "delta"])
+    def test_converted_insert_keeps_its_queue_position(self, pipeline):
+        engine = self._engine(pipeline)
+        seen = []
+        engine.add_update_listener(
+            lambda action, fact: seen.append(
+                (action, fact.name, engine.annotation_of(fact))
+            )
+        )
+        fact = Fact("red", ("n", "m"))
+        # The refresh for `fact` arrives first (raced ahead of its insert),
+        # then the insert carrying a different annotation.
+        engine.enqueue(Delta(REFRESH, fact, frozenset({"from-refresh"})))
+        engine.enqueue(Delta(INSERT, fact, frozenset({"from-insert"})))
+        engine.run()
+        # The tuple must become visible from the *refresh's* position with
+        # the refresh's annotation; the later insert merges into it.  The
+        # old behaviour surfaced "from-insert" first.
+        visible = [entry for entry in seen if entry[:2] == (INSERT, "red")]
+        assert visible and visible[0][2] == frozenset({"from-refresh"})
+        assert engine.annotation_of(fact) == frozenset(
+            {"from-refresh", "from-insert"}
+        )
+        assert engine.has_fact("red", ("n", "m"))
+
+    @pytest.mark.parametrize("pipeline", ["batched", "delta"])
+    def test_refresh_without_policy_or_annotation_is_ignored(self, pipeline):
+        engine = NDlogEngine(
+            "n",
+            parse_program("r1 reach(@S,D) :- red(@S,D)."),
+            pipeline=pipeline,
+        )
+        engine.enqueue(Delta(REFRESH, Fact("red", ("n", "m")), None))
+        engine.run()
+        assert not engine.has_fact("red", ("n", "m"))
+
+
 class TestDeltaValidation:
     def test_invalid_action_rejected(self):
         with pytest.raises(ValueError):
@@ -408,6 +464,16 @@ class TestDeltaValidation:
         delta = Delta(REFRESH, Fact("x", (1,)))
         assert delta.is_refresh
         assert not delta.is_insert
+
+    def test_max_steps_bounds_batched_processing(self):
+        """run(max_steps=N) must never process more than N deltas, even
+        when a same-(predicate, action) run could be drained as a batch."""
+        engine = single_node_engine("r1 reach(@S,D) :- link(@S,D,C).")
+        for index in range(5):
+            engine.insert(Fact("link", ("n", f"m{index}", 1)))
+        assert engine.run(max_steps=1) == 1
+        assert engine.run(max_steps=3) == 3
+        assert engine.run() >= 1  # drain the rest
 
     def test_engine_stats_track_processing(self):
         engine = single_node_engine("r1 reach(@S,D) :- link(@S,D,C).")

@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.net import LinkSpec, Topology, grid_topology, line_topology, ring_topology, transit_stub_topology
+from repro.net import (
+    LinkSpec,
+    Topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    transit_stub_topology,
+)
 from repro.net.errors import NoRouteError
 from repro.net.topology import TIER_STUB, TIER_TRANSIT, TIER_TRANSIT_STUB
 

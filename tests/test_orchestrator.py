@@ -24,12 +24,14 @@ from repro.experiments.figures import figure_17_testbed_fixpoint
 from repro.experiments.orchestrator import (
     SCHEMA_VERSION,
     artifact_path,
+    canonical_artifact_bytes,
     compare,
     dump_artifact,
     load_artifact,
     run,
     strict_compare,
     trial_fingerprint,
+    wall_clock_report,
 )
 from repro.experiments.scenarios import run_trial_spec
 from repro.experiments.trials import TRIAL_FUNCTIONS
@@ -146,8 +148,13 @@ def tiny_scenario():
 
 
 def _artifact_bytes(results_dir, scenario_name):
-    with open(artifact_path(str(results_dir), scenario_name), "rb") as handle:
-        return handle.read()
+    """Canonical artifact bytes: advisory wall-clock stripped.
+
+    Wall-clock differs between any two executions by nature; every other
+    byte must be identical, which is exactly what canonical_artifact_bytes
+    compares.
+    """
+    return canonical_artifact_bytes(artifact_path(str(results_dir), scenario_name))
 
 
 class TestOrchestratorRun:
