@@ -1,0 +1,206 @@
+"""Concurrent query engine speedup: k simultaneous queriers, before/after.
+
+Benchmarks the concurrent provenance query engine (in-flight sub-query
+coalescing, bounded result caching with the per-vertex key index, and
+per-destination message batching) against the *naive* configuration that
+resolves every traversal independently (coalescing and batching disabled) —
+the message pattern of the pre-concurrency engine — on the multi-querier
+burst workload the ``query_concurrency`` scenario sweeps: k querier nodes
+firing #DERIVATION bursts at the same instant against a shared hot set of
+tuples, on ring and grid MINCOST networks with reference provenance.
+
+Both configurations produce identical per-query results — the equivalence
+suite (``tests/test_query_concurrency.py``) enforces bit-identical results
+against *serial* issuance as well — and this benchmark asserts the
+before/after result identity again on every workload it measures.  The win
+is counted where the paper counts it: prov-kind messages and bytes on the
+wire, with wall-clock as a secondary (machine-dependent) indicator.
+
+Run directly for the comparison table (the README "Performance" section
+reproduces it)::
+
+    PYTHONPATH=src python benchmarks/bench_query_concurrency.py [repeats]
+
+or through pytest-benchmark for the two smallest cases.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.core import ExspanNetwork, ProvenanceMode, derivation_count_query
+from repro.experiments.workloads import BurstQueryWorkload
+from repro.net import grid_topology, ring_topology
+from repro.protocols import mincost_program
+
+#: (topology kind, size, k queriers) per workload row.
+WORKLOADS: Tuple[Tuple[str, int, int], ...] = (
+    ("ring", 24, 4),
+    ("ring", 24, 16),
+    ("grid", 5, 4),
+    ("grid", 5, 16),
+)
+DEFAULT_REPEATS = 3
+
+#: (coalescing, batching) per configuration.
+CONFIGS: Dict[str, Tuple[bool, bool]] = {
+    "before": (False, False),
+    "after": (True, True),
+}
+
+
+def _build(topology: str, size: int, config: str) -> ExspanNetwork:
+    coalescing, batching = CONFIGS[config]
+    if topology == "ring":
+        topo = ring_topology(size, seed=0)
+    else:
+        topo = grid_topology(size, size)
+    network = ExspanNetwork(
+        topo,
+        mincost_program(),
+        mode=ProvenanceMode.REFERENCE,
+        query_coalescing=coalescing,
+        query_batching=batching,
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    return network
+
+
+def run_burst(topology: str, size: int, k: int, config: str) -> Tuple[
+    ExspanNetwork, BurstQueryWorkload
+]:
+    """One burst workload (cached #DERIVATION queries, two waves)."""
+    network = _build(topology, size, config)
+    spec = derivation_count_query(name="bqcspc", use_cache=True)
+    network.stats.reset()
+    workload = BurstQueryWorkload(
+        network, spec, queriers=k, queries_per_querier=4, hot_tuples=4, waves=2,
+        seed=0,
+    )
+    workload.run()
+    return network, workload
+
+
+def _results(workload: BurstQueryWorkload) -> List[Tuple[str, str]]:
+    return [(outcome.vid, repr(outcome.result)) for outcome in workload.outcomes]
+
+
+def _run_once(topology: str, size: int, k: int, config: str) -> Dict[str, float]:
+    """One timed burst, excluding network construction / fixpoint."""
+    network = _build(topology, size, config)
+    spec = derivation_count_query(name="bqcspc", use_cache=True)
+    network.stats.reset()
+    workload = BurstQueryWorkload(
+        network, spec, queriers=k, queries_per_querier=4, hot_tuples=4, waves=2,
+        seed=0,
+    )
+    gc.collect()
+    started = time.perf_counter()
+    workload.run()
+    elapsed = time.perf_counter() - started
+    stats = network.query_service_stats()
+    return {
+        "seconds": elapsed,
+        "messages": network.query_messages(),
+        "bytes": network.query_bytes(),
+        "coalesced": stats["coalesced_inflight"] + stats["coalesced_roots"],
+        "cache_hits": stats["cache_hits"],
+        "results": _results(workload),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# pytest-benchmark cases (and the equivalence guard)
+# ---------------------------------------------------------------------- #
+def _fresh_workload(config: str):
+    """Per-round setup: the fixpointed network is built *outside* the timed
+    region, so the benchmark isolates the burst (the quantity the
+    concurrent engine changes) rather than maintenance."""
+    network = _build("ring", 24, config)
+    network.stats.reset()
+    workload = BurstQueryWorkload(
+        network,
+        derivation_count_query(name="bqcspc", use_cache=True),
+        queriers=4,
+        queries_per_querier=4,
+        hot_tuples=4,
+        waves=2,
+        seed=0,
+    )
+    return (workload,), {}
+
+
+def _bench_burst(benchmark, config: str) -> None:
+    outcomes = benchmark.pedantic(
+        lambda workload: workload.run(),
+        setup=lambda: _fresh_workload(config),
+        rounds=3,
+    )
+    assert outcomes
+
+
+def test_burst_before(benchmark):
+    _bench_burst(benchmark, "before")
+
+
+def test_burst_after(benchmark):
+    _bench_burst(benchmark, "after")
+
+
+def test_configs_result_identical():
+    """Coalescing + batching must not change any per-query result."""
+    for topology, size, k in WORKLOADS:
+        _, before = run_burst(topology, size, k, "before")
+        _, after = run_burst(topology, size, k, "after")
+        assert _results(before) == _results(after), (topology, size, k)
+
+
+def test_after_reduces_messages_and_bytes():
+    """The acceptance bar: measurably fewer prov messages/bytes at k>1."""
+    before_net, _ = run_burst("grid", 5, 16, "before")
+    after_net, _ = run_burst("grid", 5, 16, "after")
+    assert after_net.query_messages() < before_net.query_messages()
+    assert after_net.query_bytes() < before_net.query_bytes()
+
+
+# ---------------------------------------------------------------------- #
+# standalone comparison table
+# ---------------------------------------------------------------------- #
+def main(repeats: int = DEFAULT_REPEATS) -> None:
+    print(
+        "Concurrent query engine comparison: cached #DERIVATION bursts, "
+        f"2 waves x 4 queries/querier (best of {repeats})"
+    )
+    header = (
+        f"{'workload':>12} {'k':>3} {'before msg':>10} {'after msg':>10} "
+        f"{'before KB':>10} {'after KB':>10} {'msg x':>6} {'KB x':>6} "
+        f"{'coalesced':>9} {'hits':>5} {'wall x':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for topology, size, k in WORKLOADS:
+        best: Dict[str, Dict[str, float]] = {}
+        for _ in range(repeats):
+            for config in CONFIGS:
+                run = _run_once(topology, size, k, config)
+                if config not in best or run["seconds"] < best[config]["seconds"]:
+                    best[config] = run
+        before, after = best["before"], best["after"]
+        assert before["results"] == after["results"], "result divergence!"
+        label = f"{topology}-{size}"
+        print(
+            f"{label:>12} {k:>3} {before['messages']:>10.0f} {after['messages']:>10.0f} "
+            f"{before['bytes'] / 1e3:>10.2f} {after['bytes'] / 1e3:>10.2f} "
+            f"{before['messages'] / max(after['messages'], 1):>5.2f}x "
+            f"{before['bytes'] / max(after['bytes'], 1):>5.2f}x "
+            f"{after['coalesced']:>9.0f} {after['cache_hits']:>5.0f} "
+            f"{before['seconds'] / max(after['seconds'], 1e-9):>6.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_REPEATS)

@@ -74,12 +74,18 @@ class ExspanNetwork:
         seed: int = 0,
         planner: Optional[str] = None,
         pipeline: Optional[str] = None,
+        query_cache_capacity: Optional[int] = None,
+        query_coalescing: bool = True,
+        query_batching: bool = True,
     ):
         self.topology = topology
         self.mode = mode
         self.link_cost = link_cost
         self.planner = planner
         self.pipeline = pipeline
+        self.query_cache_capacity = query_cache_capacity
+        self.query_coalescing = query_coalescing
+        self.query_batching = query_batching
         self._rng = random.Random(seed)
         if mode is ProvenanceMode.CENTRALIZED and collector is None:
             collector = topology.nodes[0]
@@ -112,7 +118,12 @@ class ExspanNetwork:
         engine.load_program(self.prepared.program)
         store = ProvenanceStore(engine)
         query_service = ProvenanceQueryService(
-            host, store, clock=lambda: self.simulator.now
+            host,
+            store,
+            clock=lambda: self.simulator.now,
+            cache_capacity=self.query_cache_capacity,
+            coalesce=self.query_coalescing,
+            batch=self.query_batching,
         )
         engine.add_update_listener(
             lambda action, fact, service=query_service: service.on_tuple_update(fact)
@@ -356,8 +367,26 @@ class ExspanNetwork:
 
     def cache_stats(self) -> Dict[str, int]:
         """Aggregated query-cache statistics across all nodes."""
-        totals = {"entries": 0, "hits": 0, "misses": 0, "invalidations": 0}
+        totals: Dict[str, int] = {}
         for node in self.nodes.values():
             for key, value in node.query_service.cache.stats().items():
-                totals[key] += value
+                totals[key] = totals.get(key, 0) + value
         return totals
+
+    def query_service_stats(self) -> Dict[str, int]:
+        """Aggregated query-engine counters across every node.
+
+        Includes queries started/completed, in-flight and root coalescing
+        counts, stale-result drops, cache hit/miss/eviction counters and
+        per-destination batching counters — the numbers the multi-querier
+        scenarios report alongside raw prov-kind traffic.
+        """
+        from ..net.stats import aggregate_query_stats
+
+        return aggregate_query_stats(
+            node.query_service.query_stats() for node in self.nodes.values()
+        )
+
+    def query_messages(self) -> int:
+        """Messages spent answering provenance queries."""
+        return self.network.stats.total_messages(kinds=["prov"])

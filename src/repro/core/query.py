@@ -19,6 +19,51 @@ NDlog rules keeps the continuation bookkeeping explicit while preserving the
 message pattern (and therefore the bandwidth / latency behaviour) of the
 paper's rules.
 
+Concurrency model
+-----------------
+The service is a *concurrent, pipelined* engine: any number of root queries
+may be in flight at one node, and their traversals interleave freely on the
+event loop.  Three mechanisms keep the multi-querier workload cheap while
+staying **result-identical to serial resolution**:
+
+* **In-flight sub-query coalescing** — a traversal reaching a vertex whose
+  resolution is already in flight for the same ``(spec, vertex, depth
+  budget)`` attaches a *waiter* to the pending resolution instead of
+  re-walking the distributed subgraph; every waiter receives the one
+  computed result.  Root queries to a remote target coalesce the same way
+  on the issuing node, so k concurrent queries for one remote vertex cost
+  one ``provQuery`` / ``provResult`` pair.  Resolutions are deterministic
+  functions of the local store, the spec and the depth budget (the random
+  moonwalk draws from a per-``(spec, node, vertex)`` seeded generator),
+  which is what makes a coalesced result bit-identical to a re-issued
+  walk.
+* **Deterministic aggregation** — a vertex's child results are combined in
+  derivation order (and a rule's in input order) via index slots, never in
+  message-arrival order, so annotations do not depend on how concurrent
+  traversals interleave on the wire.
+* **Per-destination batching** — all ``prov`` traffic generated while
+  handling one message (or one locally issued query) is flushed through
+  the host outbox at the end of the turn: payloads for the same
+  destination share a single message envelope (see
+  :mod:`repro.net.host`), cutting per-message header overhead for the
+  fan-outs the traversal produces.
+
+Depth budgets and the cache interact carefully: every completed resolution
+reports the *height* of the subgraph it covered, truncated resolutions
+(some descendant ran out of depth) report no height and are **never
+cached**, and a cached entry is served only to requesters whose remaining
+budget is at least the entry's height — i.e. only when their own traversal
+would have produced the identical full value.  Cached values are therefore
+independent of the depth budget they were computed under, which keeps
+concurrent issuance bit-identical to serial issuance even for
+depth-bounded specs.
+
+Cache writes are also guarded against concurrent updates: when a vertex is
+invalidated while its resolution is in flight, the resolution is marked
+*dirty* — its (point-in-time) result is still delivered to waiters, but it
+is not cached, and invalidations are propagated to the waiters' parent
+entries so no cache retains a value derived from the pre-update subgraph.
+
 Message kinds exchanged (all under the ``"prov"`` message kind, so query
 traffic can be separated from protocol maintenance traffic in the traffic
 statistics):
@@ -40,8 +85,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..datalog.ast import Fact
 from ..net.host import Host
 from ..net.message import Message
-from .cache import CacheKey, QueryResultCache
+from .cache import CacheKey, Dependent, QueryResultCache, vertex_of
 from .errors import QueryError
+from .rewrite import PROV_TABLE, RULE_EXEC_TABLE
 from .storage import ProvenanceStore
 from .vid import fact_vid
 
@@ -120,12 +166,66 @@ class QueryOutcome:
         return self.completed_at - self.issued_at
 
 
-@dataclass
-class _PendingAggregation:
-    """Bookkeeping for an in-progress combination of child results."""
+#: Height of the resolved subgraph (vid/rule levels below the vertex), or
+#: ``None`` when the resolution was truncated by the depth budget.
+_Height = Optional[int]
 
-    expected: int
-    results: List[Any] = field(default_factory=list)
+#: A continuation receiving a resolved value plus its subgraph height.
+_Continuation = Callable[[Any, _Height], None]
+
+#: A waiter: the (node, parent cache key) that will consume the result —
+#: ``None`` for root queries — plus the continuation to invoke with it.
+_Waiter = Tuple[Optional[Dependent], _Continuation]
+
+
+def _combine_heights(child_heights: Sequence[_Height]) -> _Height:
+    """Height of a vertex above its children; ``None`` taints the parent."""
+    tallest = 0
+    for height in child_heights:
+        if height is None:
+            return None
+        if height > tallest:
+            tallest = height
+    return tallest + 1
+
+
+@dataclass
+class _InFlight:
+    """One pending vertex resolution that concurrent traversals share."""
+
+    key: CacheKey
+    depth: int
+    waiters: List[_Waiter] = field(default_factory=list)
+    #: Set when the vertex is invalidated mid-resolution: the result is
+    #: still delivered but never cached, and consumers are invalidated.
+    dirty: bool = False
+
+
+class _SlotFanIn:
+    """Collect indexed child results; fire once every slot is filled.
+
+    Results land in child-index slots, not arrival order, so the combined
+    annotation is independent of message interleaving; heights are folded
+    alongside (any truncated child taints the aggregate).
+    """
+
+    __slots__ = ("slots", "heights", "remaining", "on_all")
+
+    def __init__(self, count: int, on_all: Callable[[List[Any], _Height], None]):
+        self.slots: List[Any] = [None] * count
+        self.heights: List[_Height] = [None] * count
+        self.remaining = count
+        self.on_all = on_all
+
+    def collector(self, index: int) -> _Continuation:
+        def accept(result: Any, height: _Height) -> None:
+            self.slots[index] = result
+            self.heights[index] = height
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.on_all(self.slots, _combine_heights(self.heights))
+
+        return accept
 
 
 class ProvenanceQueryService:
@@ -136,18 +236,38 @@ class ProvenanceQueryService:
         host: Host,
         store: ProvenanceStore,
         clock: Callable[[], float],
+        cache_capacity: Optional[int] = None,
+        coalesce: bool = True,
+        batch: bool = True,
     ):
         self.host = host
         self.store = store
         self.node = host.address
         self.clock = clock
-        self.cache = QueryResultCache(self.node)
+        self.cache = (
+            QueryResultCache(self.node)
+            if cache_capacity is None
+            else QueryResultCache(self.node, capacity=cache_capacity)
+        )
+        self.coalesce = coalesce
+        self.batch = batch
         self._specs: Dict[str, QuerySpec] = {}
-        self._continuations: Dict[str, Callable[[Any], None]] = {}
+        # qid -> continuations awaiting the (single) remote result.
+        self._continuations: Dict[str, List[_Continuation]] = {}
+        # (cache key, depth budget) -> pending local resolution, plus a
+        # (kind, identifier) index so invalidation taints matching
+        # resolutions without scanning everything in flight.
+        self._inflight: Dict[Tuple[CacheKey, int], _InFlight] = {}
+        self._inflight_index: Dict[Tuple[str, str], Dict[Tuple[CacheKey, int], None]] = {}
+        # (target node, spec, vid) -> qid of the pending remote root query.
+        self._remote_roots: Dict[Tuple[Any, str, str], str] = {}
+        self._qid_root: Dict[str, Tuple[Any, str, str]] = {}
         self._sequence = 0
-        self._rng = random.Random(f"moonwalk-{self.node}")
         self.queries_started = 0
         self.queries_completed = 0
+        self.coalesced_inflight = 0
+        self.coalesced_roots = 0
+        self.stale_drops = 0
         host.register_handler(PROV_MESSAGE_KIND, self._on_message)
 
     # ------------------------------------------------------------------ #
@@ -178,14 +298,15 @@ class ProvenanceQueryService:
         """Issue a root query for *vid* stored at *target_node*.
 
         ``on_complete`` is invoked (at this node) once the provenance result
-        has been computed and shipped back.
+        has been computed and shipped back.  Any number of root queries may
+        be in flight at once.
         """
         spec = self.spec(spec_name)
         query_id = self._fresh_id()
         issued_at = self.clock()
         self.queries_started += 1
 
-        def finish(result: Any) -> None:
+        def finish(result: Any, height: _Height) -> None:
             self.queries_completed += 1
             on_complete(
                 QueryOutcome(
@@ -199,24 +320,53 @@ class ProvenanceQueryService:
                 )
             )
 
-        if target_node == self.node:
-            self._resolve_vid(vid, spec, finish, parent=None, depth=spec.max_depth)
-        else:
-            self._continuations[query_id] = finish
-            self.host.send(
-                target_node,
-                PROV_MESSAGE_KIND,
-                {
-                    "type": "provQuery",
-                    "qid": query_id,
-                    "vid": vid,
-                    "spec": spec_name,
-                    "ret": self.node,
-                    "parent": None,
-                    "depth": spec.max_depth,
-                },
-            )
+        self.host.begin_turn()
+        try:
+            if target_node == self.node:
+                self._resolve_vid(vid, spec, finish, parent=None, depth=spec.max_depth)
+            else:
+                self._ask_remote_root(vid, target_node, spec, query_id, finish)
+        finally:
+            self.host.end_turn()
         return query_id
+
+    def _ask_remote_root(
+        self,
+        vid: str,
+        target_node: Any,
+        spec: QuerySpec,
+        query_id: str,
+        finish: _Continuation,
+    ) -> None:
+        """Issue (or coalesce onto) a remote root query for *vid*.
+
+        Coalescing (here and for in-flight sub-queries) relies on the
+        simulated network's reliable, loss-free delivery: every query gets
+        exactly one result, so a pending slot always drains.  A deployment
+        with message loss or host failure would need a timeout that
+        re-issues the walk and expires the slot.
+        """
+        root = (target_node, spec.name, vid)
+        pending = self._remote_roots.get(root)
+        if self.coalesce and pending is not None:
+            self._continuations[pending].append(finish)
+            self.coalesced_roots += 1
+            return
+        self._remote_roots[root] = query_id
+        self._qid_root[query_id] = root
+        self._continuations[query_id] = [finish]
+        self._send(
+            target_node,
+            {
+                "type": "provQuery",
+                "qid": query_id,
+                "vid": vid,
+                "spec": spec.name,
+                "ret": self.node,
+                "parent": None,
+                "depth": spec.max_depth,
+            },
+        )
 
     def query_fact(
         self,
@@ -231,6 +381,13 @@ class ProvenanceQueryService:
     # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
+    def _send(self, destination: Any, payload: Dict[str, Any]) -> None:
+        """Ship one protocol payload, batched per destination when enabled."""
+        if self.batch:
+            self.host.enqueue(destination, PROV_MESSAGE_KIND, payload)
+        else:
+            self.host.send(destination, PROV_MESSAGE_KIND, payload)
+
     def _on_message(self, message: Message) -> None:
         payload = message.payload
         kind = payload.get("type")
@@ -239,57 +396,146 @@ class ProvenanceQueryService:
         elif kind == "ruleQuery":
             self._handle_rule_query(payload)
         elif kind in ("provResult", "ruleResult"):
-            continuation = self._continuations.pop(payload["qid"], None)
-            if continuation is not None:
-                continuation(payload["result"])
+            qid = payload["qid"]
+            root = self._qid_root.pop(qid, None)
+            if root is not None and self._remote_roots.get(root) == qid:
+                del self._remote_roots[root]
+            continuations = self._continuations.pop(qid, None)
+            for continuation in continuations or ():
+                continuation(payload["result"], payload.get("h"))
         elif kind == "invalidate":
             self._invalidate_key(tuple(payload["key"]))
         else:  # pragma: no cover - defensive
             raise QueryError(f"unknown provenance message type {kind!r}")
 
+    @staticmethod
+    def _parse_parent(payload: Dict[str, Any]) -> Optional[Dependent]:
+        parent = payload.get("parent")
+        if parent is None:
+            return None
+        return (parent[0], tuple(parent[1]))
+
     def _handle_prov_query(self, payload: Dict[str, Any]) -> None:
         spec = self.spec(payload["spec"])
-        parent = payload.get("parent")
-        if parent is not None:
-            parent = (parent[0], tuple(parent[1]))
 
-        def reply(result: Any) -> None:
-            self.host.send(
+        def reply(result: Any, height: _Height) -> None:
+            self._send(
                 payload["ret"],
-                PROV_MESSAGE_KIND,
                 {
                     "type": "provResult",
                     "qid": payload["qid"],
                     "vid": payload["vid"],
                     "result": result,
+                    "h": height,
                 },
             )
 
         self._resolve_vid(
-            payload["vid"], spec, reply, parent=parent, depth=payload.get("depth", spec.max_depth)
+            payload["vid"],
+            spec,
+            reply,
+            parent=self._parse_parent(payload),
+            depth=payload.get("depth", spec.max_depth),
         )
 
     def _handle_rule_query(self, payload: Dict[str, Any]) -> None:
         spec = self.spec(payload["spec"])
-        parent = payload.get("parent")
-        if parent is not None:
-            parent = (parent[0], tuple(parent[1]))
 
-        def reply(result: Any) -> None:
-            self.host.send(
+        def reply(result: Any, height: _Height) -> None:
+            self._send(
                 payload["ret"],
-                PROV_MESSAGE_KIND,
                 {
                     "type": "ruleResult",
                     "qid": payload["qid"],
                     "rid": payload["rid"],
                     "result": result,
+                    "h": height,
                 },
             )
 
         self._resolve_rid(
-            payload["rid"], spec, reply, parent=parent, depth=payload.get("depth", spec.max_depth)
+            payload["rid"],
+            spec,
+            reply,
+            parent=self._parse_parent(payload),
+            depth=payload.get("depth", spec.max_depth),
         )
+
+    # ------------------------------------------------------------------ #
+    # in-flight resolution bookkeeping
+    # ------------------------------------------------------------------ #
+    def _attach_or_open(
+        self,
+        key: CacheKey,
+        depth: int,
+        parent: Optional[Dependent],
+        on_done: _Continuation,
+    ) -> Optional[_InFlight]:
+        """Coalesce onto a pending resolution, or open a new one.
+
+        Returns the freshly opened record, or ``None`` when the caller
+        attached to an existing resolution (nothing further to do).  The
+        depth budget is part of the compatibility check: a traversal that
+        reaches the vertex with a different remaining depth could explore a
+        different frontier when the bound binds, so it resolves separately.
+        """
+        record = _InFlight(key=key, depth=depth, waiters=[(parent, on_done)])
+        if not self.coalesce:
+            # Ablation mode: resolutions run independently and are invisible
+            # to dirty-marking, reproducing the pre-concurrency engine's
+            # message pattern (and its weaker mid-flight update semantics).
+            return record
+        slot = (key, depth)
+        pending = self._inflight.get(slot)
+        if pending is not None:
+            pending.waiters.append((parent, on_done))
+            self.coalesced_inflight += 1
+            return None
+        self._inflight[slot] = record
+        self._inflight_index.setdefault(vertex_of(key), {})[slot] = None
+        return record
+
+    def _drop_record(self, record: _InFlight) -> None:
+        """Deregister a resolution (completed, or aborted without caching)."""
+        slot = (record.key, record.depth)
+        if self._inflight.get(slot) is record:
+            del self._inflight[slot]
+            vertex = vertex_of(record.key)
+            slots = self._inflight_index.get(vertex)
+            if slots is not None:
+                slots.pop(slot, None)
+                if not slots:
+                    del self._inflight_index[vertex]
+
+    def _finish_resolution(
+        self, record: _InFlight, spec: QuerySpec, result: Any, height: _Height
+    ) -> None:
+        """Complete a resolution: cache (when eligible), fan out to waiters.
+
+        A result is cached only when the resolution is *clean* (no
+        invalidation landed mid-flight) and *complete* (``height`` is not
+        ``None``: no descendant was truncated by the depth budget, so the
+        value is independent of the budget it was computed under).
+        """
+        self._drop_record(record)
+        if spec.use_cache:
+            parents = tuple(
+                {parent: None for parent, _ in record.waiters if parent is not None}
+            )
+            if record.dirty:
+                # The subgraph changed under this resolution: deliver the
+                # point-in-time result but keep it (and anything computed
+                # from it) out of every cache.
+                self.stale_drops += 1
+                self._notify_dependents(parents)
+            elif height is not None:
+                displaced = self.cache.put(
+                    record.key, result, self.clock(), dependents=parents, height=height
+                )
+                if displaced:
+                    self._notify_dependents(displaced)
+        for _, on_done in record.waiters:
+            on_done(result, height)
 
     # ------------------------------------------------------------------ #
     # tuple-vertex resolution (rules edb1, idb1-idb4 of the paper)
@@ -298,25 +544,37 @@ class ProvenanceQueryService:
         self,
         vid: str,
         spec: QuerySpec,
-        on_done: Callable[[Any], None],
-        parent: Optional[Tuple[Any, CacheKey]],
+        on_done: _Continuation,
+        parent: Optional[Dependent],
         depth: int,
     ) -> None:
         key: CacheKey = ("v", spec.name, vid)
-        if spec.use_cache and parent is not None:
-            self.cache.add_dependent(key, parent[0], parent[1])
         if spec.use_cache:
-            entry = self.cache.get(key)
+            entry = self.cache.get(key, budget=depth)
             if entry is not None:
-                on_done(entry.result)
+                if parent is not None:
+                    self.cache.add_dependent(key, parent[0], parent[1])
+                on_done(entry.result, entry.height)
                 return
         if depth <= 0:
-            on_done(spec.missing())
+            on_done(spec.missing(), None)
+            return
+
+        record = self._attach_or_open(key, depth, parent, on_done)
+        if record is None:
             return
 
         entries = self.store.prov_entries(vid)
         if not entries:
-            on_done(spec.missing())
+            # Unknown vertices are never cached themselves (the tuple may
+            # appear later) — but an ancestor embedding this missing answer
+            # may be, so keep the reverse pointer: when a prov row for this
+            # vertex does arrive, invalidate_vertex finds the dependent and
+            # drops the stale ancestor.
+            if spec.use_cache and parent is not None:
+                self.cache.add_dependent(key, parent[0], parent[1])
+            self._drop_record(record)
+            on_done(spec.missing(), 1)
             return
 
         fact = self.store.fact_for_vid(vid)
@@ -329,61 +587,73 @@ class ProvenanceQueryService:
             if not entry.is_base and spec.allow_node(entry.rule_location)
         ]
 
-        def finish(results: List[Any]) -> None:
-            result = spec.f_idb(list(results), vid, self.node)
-            if spec.use_cache:
-                self.cache.put(key, result, self.clock())
-            on_done(result)
+        def finish(results: List[Any], height: _Height) -> None:
+            self._finish_resolution(
+                record, spec, spec.f_idb(list(results), vid, self.node), height
+            )
 
         if not derivations:
-            finish(initial_results)
+            finish(initial_results, 1)
             return
 
         if spec.traversal is TraversalOrder.RANDOM_MOONWALK:
             width = max(1, min(spec.moonwalk_width, len(derivations)))
-            derivations = self._rng.sample(derivations, width)
+            derivations = self._moonwalk_rng(spec, vid).sample(derivations, width)
 
         if spec.traversal in (TraversalOrder.BFS, TraversalOrder.RANDOM_MOONWALK):
             self._resolve_derivations_parallel(
-                vid, key, spec, derivations, initial_results, finish, depth
+                key, spec, derivations, initial_results, finish, depth
             )
         else:
             self._resolve_derivations_sequential(
                 vid, key, spec, derivations, initial_results, finish, depth
             )
 
+    def _moonwalk_rng(self, spec: QuerySpec, vid: str) -> random.Random:
+        """Derivation sampler for the random moonwalk.
+
+        Seeded per ``(spec seed, node, vertex)`` so that the sample drawn at
+        a vertex does not depend on how many walks this service ran before —
+        the property that makes moonwalk resolutions coalescable and makes
+        concurrent issuance bit-identical to serial issuance.
+        """
+        return random.Random(f"moonwalk-{spec.moonwalk_seed}-{self.node}-{vid}")
+
     def _resolve_derivations_parallel(
         self,
-        vid: str,
-        key: CacheKey,
+        parent_key: CacheKey,
         spec: QuerySpec,
         derivations: Sequence[Any],
         initial_results: List[Any],
-        finish: Callable[[List[Any]], None],
+        finish: Callable[[List[Any], _Height], None],
         depth: int,
     ) -> None:
-        pending = _PendingAggregation(expected=len(derivations), results=list(initial_results))
-
-        def on_child(result: Any) -> None:
-            pending.results.append(result)
-            pending.expected -= 1
-            if pending.expected == 0:
-                finish(pending.results)
-
-        for entry in derivations:
-            self._ask_rule_vertex(entry.rid, entry.rule_location, spec, key, on_child, depth)
+        fan_in = _SlotFanIn(
+            len(derivations),
+            lambda slots, height: finish(list(initial_results) + slots, height),
+        )
+        for index, entry in enumerate(derivations):
+            self._ask_rule_vertex(
+                entry.rid,
+                entry.rule_location,
+                spec,
+                parent_key,
+                fan_in.collector(index),
+                depth,
+            )
 
     def _resolve_derivations_sequential(
         self,
         vid: str,
-        key: CacheKey,
+        parent_key: CacheKey,
         spec: QuerySpec,
         derivations: Sequence[Any],
         initial_results: List[Any],
-        finish: Callable[[List[Any]], None],
+        finish: Callable[[List[Any], _Height], None],
         depth: int,
     ) -> None:
         results: List[Any] = list(initial_results)
+        heights: List[_Height] = []
         remaining = list(derivations)
 
         def threshold_reached() -> bool:
@@ -396,16 +666,17 @@ class ProvenanceQueryService:
 
         def advance() -> None:
             if not remaining or threshold_reached():
-                finish(results)
+                finish(results, _combine_heights(heights))
                 return
             entry = remaining.pop(0)
 
-            def on_child(result: Any) -> None:
+            def on_child(result: Any, height: _Height) -> None:
                 results.append(result)
+                heights.append(height)
                 advance()
 
             self._ask_rule_vertex(
-                entry.rid, entry.rule_location, spec, key, on_child, depth
+                entry.rid, entry.rule_location, spec, parent_key, on_child, depth
             )
 
         advance()
@@ -416,7 +687,7 @@ class ProvenanceQueryService:
         rule_location: Any,
         spec: QuerySpec,
         parent_key: CacheKey,
-        on_result: Callable[[Any], None],
+        on_result: _Continuation,
         depth: int,
     ) -> None:
         """Resolve a rule-execution vertex, locally or via a remote query."""
@@ -426,10 +697,9 @@ class ProvenanceQueryService:
             )
             return
         query_id = self._fresh_id()
-        self._continuations[query_id] = on_result
-        self.host.send(
+        self._continuations[query_id] = [on_result]
+        self._send(
             rule_location,
-            PROV_MESSAGE_KIND,
             {
                 "type": "ruleQuery",
                 "qid": query_id,
@@ -448,74 +718,130 @@ class ProvenanceQueryService:
         self,
         rid: str,
         spec: QuerySpec,
-        on_done: Callable[[Any], None],
-        parent: Optional[Tuple[Any, CacheKey]],
+        on_done: _Continuation,
+        parent: Optional[Dependent],
         depth: int,
     ) -> None:
         key: CacheKey = ("r", spec.name, rid)
-        if spec.use_cache and parent is not None:
-            self.cache.add_dependent(key, parent[0], parent[1])
         if spec.use_cache:
-            entry = self.cache.get(key)
+            entry = self.cache.get(key, budget=depth)
             if entry is not None:
-                on_done(entry.result)
+                if parent is not None:
+                    self.cache.add_dependent(key, parent[0], parent[1])
+                on_done(entry.result, entry.height)
                 return
         if depth <= 0:
-            on_done(spec.missing())
+            on_done(spec.missing(), None)
+            return
+
+        record = self._attach_or_open(key, depth, parent, on_done)
+        if record is None:
             return
 
         rule_entry = self.store.rule_exec(rid)
         if rule_entry is None or not spec.allow_rule(rule_entry.rule_label, self.node):
-            on_done(spec.missing())
+            # As for unknown tuple vertices: the missing answer itself is
+            # not cached, but cached ancestors embedding it must remain
+            # reachable by invalidation should the ruleExec row appear.
+            if spec.use_cache and parent is not None:
+                self.cache.add_dependent(key, parent[0], parent[1])
+            self._drop_record(record)
+            on_done(spec.missing(), 1)
             return
 
         children = list(rule_entry.input_vids)
 
-        def finish(results: List[Any]) -> None:
-            result = spec.f_rule(list(results), rule_entry.rule_label, self.node)
-            if spec.use_cache:
-                self.cache.put(key, result, self.clock())
-            on_done(result)
+        def finish(results: List[Any], height: _Height) -> None:
+            self._finish_resolution(
+                record,
+                spec,
+                spec.f_rule(list(results), rule_entry.rule_label, self.node),
+                height,
+            )
 
         if not children:
-            finish([])
+            finish([], 1)
             return
 
-        pending = _PendingAggregation(expected=len(children))
-
-        def on_child(result: Any) -> None:
-            pending.results.append(result)
-            pending.expected -= 1
-            if pending.expected == 0:
-                finish(pending.results)
-
-        for child_vid in children:
+        fan_in = _SlotFanIn(len(children), finish)
+        for index, child_vid in enumerate(children):
             # The rule executed here, so its input tuples are stored here.
             self._resolve_vid(
-                child_vid, spec, on_child, parent=(self.node, key), depth=depth - 1
+                child_vid,
+                spec,
+                fan_in.collector(index),
+                parent=(self.node, key),
+                depth=depth - 1,
             )
 
     # ------------------------------------------------------------------ #
     # cache invalidation (Section 6.1)
     # ------------------------------------------------------------------ #
     def on_tuple_update(self, fact: Fact) -> None:
-        """Called by the runtime whenever a local materialized tuple changes."""
-        vid = fact_vid(fact)
-        self._notify_dependents(self.cache.invalidate_vertex("v", vid))
+        """Called by the runtime whenever a local materialized tuple changes.
+
+        Ordinary tuples invalidate their own vertex.  Changes to the
+        ``prov`` / ``ruleExec`` tables invalidate the vertex they *describe*
+        instead: an update that adds (or retracts) an alternative derivation
+        of a tuple leaves the tuple itself untouched, so without this the
+        vertex's cached result would silently keep the old derivation set —
+        the stale-dependent hole the invalidation protocol must not have.
+        """
+        if fact.name == PROV_TABLE:
+            kind, identifier = "v", fact.values[1]
+        elif fact.name == RULE_EXEC_TABLE:
+            kind, identifier = "r", fact.values[1]
+        else:
+            kind, identifier = "v", fact_vid(fact)
+        self.host.begin_turn()
+        try:
+            self._mark_dirty(kind, identifier)
+            self._notify_dependents(self.cache.invalidate_vertex(kind, identifier))
+        finally:
+            self.host.end_turn()
 
     def _invalidate_key(self, key: CacheKey) -> None:
+        self._mark_dirty(key[0], key[2], only_key=key)
         self._notify_dependents(self.cache.invalidate(key))
 
-    def _notify_dependents(self, dependents) -> None:
+    def _mark_dirty(
+        self, kind: str, identifier: str, only_key: Optional[CacheKey] = None
+    ) -> None:
+        """Taint pending resolutions whose vertex was just invalidated."""
+        slots = self._inflight_index.get((kind, identifier))
+        if not slots:
+            return
+        for slot in slots:
+            if only_key is None or slot[0] == only_key:
+                self._inflight[slot].dirty = True
+
+    def _notify_dependents(self, dependents: Sequence[Dependent]) -> None:
         for node, parent_key in dependents:
             if node == self.node:
                 self._invalidate_key(parent_key)
             else:
-                self.host.send(
-                    node,
-                    PROV_MESSAGE_KIND,
-                    {"type": "invalidate", "key": list(parent_key)},
-                )
+                self._send(node, {"type": "invalidate", "key": list(parent_key)})
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def query_stats(self) -> Dict[str, int]:
+        """Counters for this node's query engine (see ``QUERY_COUNTER_KEYS``)."""
+        cache = self.cache.stats()
+        return {
+            "queries_started": self.queries_started,
+            "queries_completed": self.queries_completed,
+            "coalesced_inflight": self.coalesced_inflight,
+            "coalesced_roots": self.coalesced_roots,
+            "stale_drops": self.stale_drops,
+            "cache_entries": cache["entries"],
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+            "cache_evictions": cache["evictions"],
+            "cache_invalidations": cache["invalidations"],
+            "batches_sent": self.host.batches_sent,
+            "messages_batched": self.host.messages_batched,
+        }
 
     # ------------------------------------------------------------------ #
     # helpers

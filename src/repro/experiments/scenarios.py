@@ -580,6 +580,72 @@ _scenario(
 )
 
 
+def _expand_query_concurrency(params: Mapping[str, Any]) -> List[TrialSpec]:
+    fixed = _pick(
+        params, "queries_per_querier", "hot_tuples", "waves", "threshold", "seed",
+    )
+    sizes = {"ring": params["ring_size"], "grid": params["grid_side"]}
+    return [
+        TrialSpec(
+            scenario=params["_scenario"],
+            trial_id=(
+                f"topo={topology}/k={k}/traversal={traversal}/cache={use_cache}"
+            ),
+            fn="query_concurrency",
+            kwargs={
+                "topology": topology,
+                "size": sizes[topology],
+                "k": k,
+                "traversal": traversal,
+                "use_cache": use_cache,
+                **fixed,
+            },
+        )
+        for topology in params["topologies"]
+        for traversal, use_cache in params["variants"]
+        for k in params["ks"]
+    ]
+
+
+_scenario(
+    "query_concurrency",
+    _expand_query_concurrency,
+    title="Prov-query traffic vs number of simultaneous queriers",
+    x_label="Simultaneous Queriers (k)",
+    y_label="Query Traffic (KB)",
+    description=(
+        "Registry-only sweep: k querier nodes fire bursts of #DERIVATION "
+        "queries at the same instant against a shared hot set on ring and "
+        "grid MINCOST networks; measures how in-flight sub-query "
+        "coalescing, result caching and per-destination batching bend the "
+        "prov-kind traffic curve as concurrency grows."
+    ),
+    quick={
+        "topologies": ("ring", "grid"),
+        "ring_size": 24,
+        "grid_side": 5,
+        "ks": (1, 2, 4, 8),
+        "variants": (
+            ("BFS", False),
+            ("BFS", True),
+            ("DFS", False),
+            ("DFS-Threshold", True),
+        ),
+        "queries_per_querier": 4,
+        "hot_tuples": 4,
+        "waves": 2,
+        "threshold": 3,
+        "seed": 0,
+    },
+    paper={
+        "ring_size": 48,
+        "grid_side": 7,
+        "ks": (2, 4, 8, 16, 32),
+        "queries_per_querier": 5,
+    },
+)
+
+
 def _expand_planner_ablation(params: Mapping[str, Any]) -> List[TrialSpec]:
     fixed = _pick(params, "seed")
     return [

@@ -48,7 +48,7 @@ from ..net.topology import (
 from ..protocols.mincost import mincost_program
 from ..protocols.packetforward import packetforward_program
 from ..protocols.pathvector import pathvector_program
-from .workloads import PacketWorkload, QueryWorkload, make_churn
+from .workloads import BurstQueryWorkload, PacketWorkload, QueryWorkload, make_churn
 
 __all__ = [
     "MODE_KEYS",
@@ -66,6 +66,7 @@ __all__ = [
     "caching_latency_trial",
     "traversal_bandwidth_trial",
     "traversal_latency_trial",
+    "query_concurrency_trial",
     "representation_trial",
     "testbed_bandwidth_trial",
     "testbed_fixpoint_trial",
@@ -503,6 +504,110 @@ def traversal_latency_trial(
 
 
 # ---------------------------------------------------------------------- #
+# Multi-querier concurrency sweep (registry-only): k simultaneous queriers
+# ---------------------------------------------------------------------- #
+#: Equal-length spec names per (traversal, cached) variant so the message
+#: framing is identical across the sweep (the spec name travels in queries).
+_CONCURRENCY_VARIANTS: Dict[Tuple[str, bool], str] = {
+    ("BFS", False): "qcbfs0",
+    ("BFS", True): "qcbfs1",
+    ("DFS", False): "qcdfs0",
+    ("DFS", True): "qcdfs1",
+    ("DFS-Threshold", False): "qcthr0",
+    ("DFS-Threshold", True): "qcthr1",
+}
+
+
+def _concurrency_topology(topology: str, size: int, seed: int) -> Topology:
+    if topology == "ring":
+        return ring_topology(size, seed=seed)
+    if topology == "grid":
+        return grid_topology(size, size)
+    raise ValueError(f"unknown query_concurrency topology {topology!r}")
+
+
+def _concurrency_spec(traversal: str, use_cache: bool, threshold: int):
+    try:
+        spec_name = _CONCURRENCY_VARIANTS[(traversal, bool(use_cache))]
+    except KeyError:
+        raise ValueError(
+            f"unknown query_concurrency variant {traversal!r}/cache={use_cache!r}"
+        ) from None
+    _, order = _TRAVERSAL_VARIANTS[traversal]
+    if order is TraversalOrder.DFS_THRESHOLD:
+        return derivation_count_query(
+            name=spec_name, traversal=order, use_cache=bool(use_cache),
+            threshold=threshold,
+        )
+    return derivation_count_query(
+        name=spec_name, traversal=order, use_cache=bool(use_cache)
+    )
+
+
+def query_concurrency_trial(
+    topology: str,
+    size: int,
+    k: int,
+    traversal: str,
+    use_cache: bool,
+    queries_per_querier: int = 4,
+    hot_tuples: int = 4,
+    waves: int = 2,
+    threshold: int = 3,
+    seed: int = 0,
+    coalescing: bool = True,
+    batching: bool = True,
+) -> Dict[str, Any]:
+    """Prov-kind traffic (KB) for k simultaneous queriers on one variant.
+
+    A MINCOST reference-provenance network is fixpointed on a ring or grid
+    (grids give abundant equal-cost multipaths, i.e. multi-derivation
+    tuples), then *k* querier nodes fire a burst of #DERIVATION queries at
+    the same instant against a shared hot set of tuples.  The y value is
+    total prov-kind KB for the burst; the notes surface the concurrency
+    counters (in-flight / root coalescing, cache hits, batching) that
+    explain the reduction.  ``coalescing`` / ``batching`` exist for
+    ablations and benchmarks; the registered scenario leaves them on.
+    """
+    network = ExspanNetwork(
+        _concurrency_topology(topology, size, seed),
+        mincost_program(),
+        mode=ProvenanceMode.REFERENCE,
+        seed=seed,
+        query_coalescing=coalescing,
+        query_batching=batching,
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    spec = _concurrency_spec(traversal, use_cache, threshold)
+    network.stats.reset()
+    workload = BurstQueryWorkload(
+        network,
+        spec,
+        queriers=k,
+        queries_per_querier=queries_per_querier,
+        hot_tuples=hot_tuples,
+        waves=waves,
+        seed=seed,
+    )
+    workload.run()
+    label = f"{traversal}{'+cache' if use_cache else ''} ({topology})"
+    query_stats = network.query_service_stats()
+    notes = {
+        f"{label} @k={k} queries": len(workload.outcomes),
+        f"{label} @k={k} prov messages": network.query_messages(),
+        f"{label} @k={k} coalesced": (
+            query_stats["coalesced_inflight"] + query_stats["coalesced_roots"]
+        ),
+        f"{label} @k={k} cache hits": query_stats["cache_hits"],
+        f"{label} @k={k} batched": query_stats["messages_batched"],
+    }
+    return _network_result(
+        network, {label: [[k, round(network.query_bytes() / 1e3, 6)]]}, notes
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Figure 15: polynomial vs BDD query representations
 # ---------------------------------------------------------------------- #
 def representation_trial(
@@ -628,6 +733,7 @@ TRIAL_FUNCTIONS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "caching_latency": caching_latency_trial,
     "traversal_bandwidth": traversal_bandwidth_trial,
     "traversal_latency": traversal_latency_trial,
+    "query_concurrency": query_concurrency_trial,
     "representation": representation_trial,
     "testbed_bandwidth": testbed_bandwidth_trial,
     "testbed_fixpoint": testbed_fixpoint_trial,

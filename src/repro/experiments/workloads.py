@@ -25,7 +25,7 @@ from ..net.churn import ChurnGenerator
 from ..net.stats import LatencyStats
 from ..protocols.packetforward import packet_event
 
-__all__ = ["QueryWorkload", "PacketWorkload", "make_churn"]
+__all__ = ["QueryWorkload", "BurstQueryWorkload", "PacketWorkload", "make_churn"]
 
 
 @dataclass
@@ -106,6 +106,132 @@ class QueryWorkload:
             self.network.simulator.run_until_idle()
         else:
             self.network.run_for(self.duration)
+        return self.outcomes
+
+    def latency_stats(self) -> LatencyStats:
+        stats = LatencyStats()
+        stats.extend(outcome.latency for outcome in self.outcomes)
+        return stats
+
+
+@dataclass
+class BurstQueryWorkload:
+    """k simultaneous queriers: the multi-tenant query *serving* workload.
+
+    ``queriers`` nodes each fire ``queries_per_querier`` root provenance
+    queries per *wave*, with targets drawn from a small *hot set* of
+    ``hot_tuples`` tuples (concurrent interest concentrates on a few
+    popular vertices, the regime where in-flight sub-query coalescing and
+    result caching pay off).  Each querier's wave is issued in a single
+    turn — a client pipelining a burst of requests — so root queries to
+    one target coalesce and mixed-target bursts share batched envelopes.
+    With ``waves > 1`` the burst repeats after ``wave_gap`` simulated
+    seconds (long enough for the previous wave to drain), which is what
+    exposes cache hits for ``use_cache`` specs.  Selection is fully
+    seeded, so a run is a deterministic function of ``(network, spec,
+    parameters)``.
+
+    ``run(serial=True)`` issues the *same* queries one at a time, draining
+    the network between them — the reference the concurrent engine must be
+    result-identical to, and the "before" leg of the speedup benchmarks.
+    """
+
+    network: ExspanNetwork
+    spec: QuerySpec
+    queriers: int = 4
+    queries_per_querier: int = 4
+    hot_tuples: int = 4
+    waves: int = 1
+    wave_gap: float = 1.0
+    table: str = "bestPathCost"
+    seed: int = 0
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    def plan(self) -> List[List[Tuple[Any, Any, Fact]]]:
+        """Deterministic per-wave (issuer, target, fact) root-query lists."""
+        rng = random.Random(self.seed)
+        rows = self.network.tuples(self.table)
+        if not rows:
+            return [[] for _ in range(self.waves)]
+        hot = rng.sample(rows, min(self.hot_tuples, len(rows)))
+        addresses = self.network.addresses()
+        issuers = rng.sample(addresses, min(self.queriers, len(addresses)))
+        planned: List[List[Tuple[Any, Any, Fact]]] = []
+        for _ in range(self.waves):
+            wave: List[Tuple[Any, Any, Fact]] = []
+            for issuer in issuers:
+                for _ in range(self.queries_per_querier):
+                    target_node, row = rng.choice(hot)
+                    wave.append((issuer, target_node, Fact(self.table, row)))
+            planned.append(wave)
+        return planned
+
+    def run(self, serial: bool = False) -> List[QueryOutcome]:
+        """Issue the planned queries; returns their outcomes in issue order.
+
+        Concurrent mode schedules each querier's per-wave burst as one
+        event and runs the network to idle once; serial mode drains
+        between individual queries.
+        """
+        self.network.register_query_spec(self.spec)
+        planned = self.plan()
+        simulator = self.network.simulator
+        start = self.network.now
+        # Outcomes are collected per query and concatenated in issue order,
+        # so concurrent completion order never shows through.
+        collected: List[List[List[QueryOutcome]]] = [
+            [[] for _ in wave] for wave in planned
+        ]
+
+        def issue_one(issuer: Any, target: Any, fact: Fact, bucket) -> None:
+            self.network.node(issuer).query_service.query_fact(
+                fact, target, self.spec.name, bucket.append
+            )
+
+        if serial:
+            for wave_index, wave in enumerate(planned):
+                for index, (issuer, target, fact) in enumerate(wave):
+                    issue_one(issuer, target, fact, collected[wave_index][index])
+                    simulator.run_until_idle()
+        else:
+            for wave_index, wave in enumerate(planned):
+                burst_at = start + wave_index * self.wave_gap
+                by_issuer: Dict[Any, List[int]] = {}
+                for index, (issuer, _, _) in enumerate(wave):
+                    by_issuer.setdefault(issuer, []).append(index)
+
+                def make_burst(
+                    wave_index: int, issuer: Any, indices: List[int]
+                ) -> Callable[[], None]:
+                    def burst() -> None:
+                        # One turn for the whole burst: the client pipelines
+                        # its requests, so same-destination queries leave in
+                        # one batched envelope.
+                        host = self.network.node(issuer).host
+                        host.begin_turn()
+                        try:
+                            wave = planned[wave_index]
+                            for index in indices:
+                                _, target, fact = wave[index]
+                                issue_one(
+                                    issuer, target, fact, collected[wave_index][index]
+                                )
+                        finally:
+                            host.end_turn()
+
+                    return burst
+
+                for issuer, indices in by_issuer.items():
+                    simulator.schedule_at(
+                        burst_at, make_burst(wave_index, issuer, indices)
+                    )
+            simulator.run_until_idle()
+        self.outcomes = [
+            outcome
+            for wave_buckets in collected
+            for bucket in wave_buckets
+            for outcome in bucket
+        ]
         return self.outcomes
 
     def latency_stats(self) -> LatencyStats:

@@ -5,11 +5,25 @@ dispatches incoming :class:`~repro.net.message.Message` objects to handlers
 registered per message *kind* — the NDlog runtime registers a ``"delta"``
 handler, the ExSPAN provenance query service registers provenance-query
 handlers, and so on.  Hosts know nothing about what the payloads mean.
+
+Per-destination batching
+------------------------
+Services that generate bursts of small messages (the provenance query
+protocol above all) can *enqueue* sends instead of issuing them directly.
+Enqueued payloads accumulate in a per-``(destination, kind)`` outbox for
+the duration of the current **turn** — one delivered message or one
+externally driven entry point, bracketed by :meth:`begin_turn` /
+:meth:`end_turn` — and are flushed when the outermost turn ends.  A flush
+sends a single batched message per destination that accumulated two or
+more payloads (one header on the wire instead of N) and a plain message
+for singletons, so un-batched traffic is byte-identical to the pre-batching
+wire format.  Delivery of a batch dispatches the handler once per item, in
+enqueue order, which keeps processing order identical to individual sends.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .errors import NetworkError
 from .message import Message
@@ -24,8 +38,12 @@ class Host:
         "address",
         "network",
         "_handlers",
+        "_outbox",
+        "_turn_depth",
         "messages_received",
         "bytes_received",
+        "batches_sent",
+        "messages_batched",
         "up",
     )
 
@@ -33,8 +51,15 @@ class Host:
         self.address = address
         self.network = network
         self._handlers: Dict[str, Callable[[Message], None]] = {}
+        # (destination, kind) -> payloads queued this turn, in first-enqueue
+        # order (dict insertion order doubles as the flush order, which is
+        # what keeps batched delivery order identical to individual sends).
+        self._outbox: Dict[Tuple[Any, str], List[Any]] = {}
+        self._turn_depth = 0
         self.messages_received = 0
         self.bytes_received = 0
+        self.batches_sent = 0
+        self.messages_batched = 0
         self.up = True
 
     # ------------------------------------------------------------------ #
@@ -60,6 +85,40 @@ class Host:
         """Send *payload* to *destination* through the network."""
         return self.network.send(self.address, destination, kind, payload, size)
 
+    def enqueue(self, destination: Any, kind: str, payload: Any) -> None:
+        """Queue *payload* for batched delivery at the end of this turn.
+
+        Outside a turn the payload is sent immediately (so callers never
+        need to know whether they run inside a delivery context).
+        """
+        if self._turn_depth == 0:
+            self.send(destination, kind, payload)
+            return
+        self._outbox.setdefault((destination, kind), []).append(payload)
+
+    def begin_turn(self) -> None:
+        """Enter a batching turn (re-entrant)."""
+        self._turn_depth += 1
+
+    def end_turn(self) -> None:
+        """Leave a batching turn; the outermost exit flushes the outbox."""
+        self._turn_depth -= 1
+        if self._turn_depth == 0 and self._outbox:
+            self._flush_outbox()
+
+    def _flush_outbox(self) -> None:
+        # Services may enqueue more while a flush is delivering nothing —
+        # flushed sends only *schedule* deliveries — but take a snapshot
+        # anyway so the loop is immune to re-entrant enqueues.
+        outbox, self._outbox = self._outbox, {}
+        for (destination, kind), payloads in outbox.items():
+            if len(payloads) == 1:
+                self.send(destination, kind, payloads[0])
+            else:
+                self.network.send_batch(self.address, destination, kind, payloads)
+                self.batches_sent += 1
+                self.messages_batched += len(payloads)
+
     def deliver(self, message: Message) -> None:
         """Called by the network when a message arrives at this host."""
         if not self.up:
@@ -72,7 +131,28 @@ class Host:
                 f"host {self.address!r} has no handler for message kind "
                 f"{message.kind!r}"
             )
-        handler(message)
+        self.begin_turn()
+        try:
+            if message.batch:
+                for item in message.payload:
+                    # Per-item views carry size 0: the envelope's bytes were
+                    # billed once on send and counted once above — claiming
+                    # the full batch size on every item would overstate it.
+                    handler(
+                        Message(
+                            source=message.source,
+                            destination=message.destination,
+                            kind=message.kind,
+                            payload=item,
+                            size=0,
+                            sent_at=message.sent_at,
+                            delivered_at=message.delivered_at,
+                        )
+                    )
+            else:
+                handler(message)
+        finally:
+            self.end_turn()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Host({self.address!r})"

@@ -22,10 +22,10 @@ Size model
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any, Sequence
 
-__all__ = ["Message", "payload_size", "HEADER_OVERHEAD"]
+__all__ = ["Message", "payload_size", "batch_size", "HEADER_OVERHEAD"]
 
 #: Fixed per-message overhead in bytes (UDP + IPv4 headers).
 HEADER_OVERHEAD = 28
@@ -55,6 +55,21 @@ def payload_size(value: Any) -> int:
     return len(repr(value))
 
 
+def batch_size(kind: str, payloads: Sequence[Any]) -> int:
+    """Billed size of one batched message carrying several payloads.
+
+    A batch pays the per-message header and kind once plus two bytes of
+    length framing — versus ``len(payloads)`` headers for individual sends,
+    which is where per-destination batching saves bytes on the wire.
+    """
+    return (
+        HEADER_OVERHEAD
+        + len(kind)
+        + 2
+        + sum(payload_size(payload) for payload in payloads)
+    )
+
+
 @dataclass
 class Message:
     """A message in flight between two hosts.
@@ -63,6 +78,11 @@ class Message:
     NDlog tuples, ``"prov"`` for provenance-query traffic, ...).  ``size``
     is the total billed size including header overhead; it is computed by the
     network layer if not supplied.
+
+    A *batch* message carries several logical payloads for the same
+    destination in one envelope (``payload`` is then a sequence of the
+    individual payloads); the receiving host unpacks it and dispatches the
+    handler once per item, so handlers never see the envelope.
     """
 
     source: Any
@@ -72,9 +92,13 @@ class Message:
     size: int = 0
     sent_at: float = 0.0
     delivered_at: float = 0.0
+    batch: bool = False
 
     def compute_size(self) -> int:
         """Compute (and cache) this message's billed size in bytes."""
         if self.size <= 0:
-            self.size = HEADER_OVERHEAD + len(self.kind) + payload_size(self.payload)
+            if self.batch:
+                self.size = batch_size(self.kind, self.payload)
+            else:
+                self.size = HEADER_OVERHEAD + len(self.kind) + payload_size(self.payload)
         return self.size

@@ -11,11 +11,16 @@ prototype).
 An optional per-byte transmission delay models bandwidth constraints; it is
 disabled by default because the paper's workloads are far from saturating
 the configured capacities.
+
+Besides single-payload :meth:`Network.send`, the network ships batched
+messages (:meth:`Network.send_batch`): several payloads for one destination
+share one envelope and one header charge — see :mod:`repro.net.host` for
+the turn-scoped outbox that produces them.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from .errors import NoRouteError, UnknownNodeError
 from .host import Host
@@ -85,14 +90,46 @@ class Network:
         size: Optional[int] = None,
     ) -> Message:
         """Send a message; returns the in-flight :class:`Message`."""
-        destination_host = self.host(destination)
         message = Message(source=source, destination=destination, kind=kind, payload=payload)
         if size is not None:
             message.size = size
+        return self._dispatch(message)
+
+    def send_batch(
+        self,
+        source: Any,
+        destination: Any,
+        kind: str,
+        payloads: Sequence[Any],
+        size: Optional[int] = None,
+    ) -> Message:
+        """Send several payloads to one destination as a single message.
+
+        The batch pays one header (see :func:`~repro.net.message.batch_size`)
+        and is recorded as one message in the traffic statistics; the
+        receiving host dispatches its handler once per payload, in order.
+        """
+        message = Message(
+            source=source,
+            destination=destination,
+            kind=kind,
+            payload=tuple(payloads),
+            batch=True,
+        )
+        if size is not None:
+            message.size = size
+        return self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> Message:
+        """Common path: bill the message, record it, schedule its delivery."""
+        destination_host = self.host(message.destination)
         message.compute_size()
         message.sent_at = self.simulator.now
-        self.stats.record(self.simulator.now, source, destination, message.size, kind)
-        latency = self._latency(source, destination, message.size)
+        self.stats.record(
+            self.simulator.now, message.source, message.destination, message.size,
+            message.kind,
+        )
+        latency = self._latency(message.source, message.destination, message.size)
         message.delivered_at = self.simulator.now + latency
         self.simulator.schedule(latency, lambda: destination_host.deliver(message))
         return message

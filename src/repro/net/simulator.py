@@ -6,17 +6,28 @@ scheduled at the same instant.  All latencies are in seconds.
 
 The simulator knows nothing about networks; :mod:`repro.net.network` builds
 message delivery on top of :meth:`Simulator.schedule`.
+
+Cancelled events are lazily skipped at pop time (the classic tombstone
+scheme), but the queue does not rot under churn-heavy workloads: the
+simulator keeps a live-event counter (so :attr:`Simulator.pending_events`
+is O(1) rather than an O(queue) scan) and compacts the heap whenever
+tombstones outnumber live events, so a workload that schedules and cancels
+in a loop runs in memory proportional to the *live* events only.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from .errors import SimulationError
 
 __all__ = ["Simulator", "ScheduledEvent"]
+
+#: Tombstone floor below which compaction is never attempted; keeps tiny
+#: simulations from paying repeated heapify costs for a handful of cancels.
+COMPACT_MIN_CANCELLED = 64
 
 
 @dataclass(order=True)
@@ -27,10 +38,18 @@ class ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Back-reference so cancel() can keep the owner's live-event counter
+    # exact; detached (None) once the event leaves the queue.
+    _owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so that it is skipped when dequeued."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
+            self._owner = None
 
 
 class Simulator:
@@ -40,7 +59,10 @@ class Simulator:
         self._now = 0.0
         self._sequence = 0
         self._queue: List[ScheduledEvent] = []
+        self._live = 0
+        self._cancelled_in_queue = 0
         self.events_executed = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -49,7 +71,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events, maintained in O(1)."""
+        return self._live
+
+    @property
+    def queue_length(self) -> int:
+        """Physical heap size including tombstones (compaction bounds it)."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -66,25 +94,55 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = ScheduledEvent(time=time, sequence=self._sequence, callback=callback)
+        event = ScheduledEvent(
+            time=time, sequence=self._sequence, callback=callback, _owner=self
+        )
         self._sequence += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`ScheduledEvent.cancel` while the event is queued."""
+        self._live -= 1
+        self._cancelled_in_queue += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once tombstones dominate the live events."""
+        if (
+            self._cancelled_in_queue > COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue > self._live
+        ):
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+            self.compactions += 1
+
+    def _pop(self) -> Optional[ScheduledEvent]:
+        """Pop the next live event, discarding tombstones along the way."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                self._cancelled_in_queue -= 1
+                continue
+            event._owner = None
+            self._live -= 1
+            return event
+        return None
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.callback()
-            self.events_executed += 1
-            return True
-        return False
+        event = self._pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.callback()
+        self.events_executed += 1
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue empties, *until* is reached, or
@@ -110,6 +168,7 @@ class Simulator:
     def _peek(self) -> Optional[ScheduledEvent]:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
         return self._queue[0] if self._queue else None
 
     def advance_to(self, time: float) -> None:

@@ -20,7 +20,9 @@ __all__ = [
     "LatencyStats",
     "cdf_points",
     "ENGINE_COUNTER_KEYS",
+    "QUERY_COUNTER_KEYS",
     "aggregate_engine_stats",
+    "aggregate_query_stats",
     "render_engine_stats",
 ]
 
@@ -184,6 +186,41 @@ def aggregate_engine_stats(
     present (zero when untouched) so reports have a stable schema.
     """
     totals: Dict[str, int] = {key: 0 for key in ENGINE_COUNTER_KEYS}
+    for stats in stats_maps:
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+#: Query-engine counters surfaced in benchmark reports, in display order.
+#: The coalescing / batching / cache counters are what the multi-querier
+#: scenarios report to show *message-count* reductions (how much traversal
+#: work the concurrent query engine deduplicated) alongside raw bytes.
+QUERY_COUNTER_KEYS = (
+    "queries_started",
+    "queries_completed",
+    "coalesced_inflight",
+    "coalesced_roots",
+    "stale_drops",
+    "cache_entries",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_invalidations",
+    "batches_sent",
+    "messages_batched",
+)
+
+
+def aggregate_query_stats(stats_maps: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Sum per-node query-service counter dicts into one network-wide view.
+
+    Mirrors :func:`aggregate_engine_stats`: every key appearing in any
+    node's counters is summed, and the well-known keys of
+    :data:`QUERY_COUNTER_KEYS` are always present (zero when untouched) so
+    reports have a stable schema.
+    """
+    totals: Dict[str, int] = {key: 0 for key in QUERY_COUNTER_KEYS}
     for stats in stats_maps:
         for key, value in stats.items():
             totals[key] = totals.get(key, 0) + value

@@ -41,10 +41,11 @@ class TestQueryResultCache:
         cache.put(key, "x", now=0.0)
         cache.add_dependent(key, "other-node", parent)
         dependents = cache.invalidate(key)
-        assert dependents == frozenset({("other-node", parent)})
+        # dependents come back as an ordered tuple (deterministic fan-out)
+        assert dependents == (("other-node", parent),)
         assert cache.get(key) is None
         # second invalidation is a no-op
-        assert cache.invalidate(key) == frozenset()
+        assert cache.invalidate(key) == ()
 
     def test_invalidate_vertex_hits_all_specs(self):
         cache = QueryResultCache("n")
@@ -59,7 +60,7 @@ class TestQueryResultCache:
         cache = QueryResultCache("n")
         cache.add_dependent(("v", "a", "vid1"), "n", ("r", "a", "rid1"))
         dependents = cache.invalidate_vertex("v", "vid1")
-        assert dependents == frozenset({("n", ("r", "a", "rid1"))})
+        assert dependents == (("n", ("r", "a", "rid1")),)
 
     def test_stats_and_clear(self):
         cache = QueryResultCache("n")
