@@ -77,7 +77,17 @@ class ExspanNetwork:
         query_cache_capacity: Optional[int] = None,
         query_coalescing: bool = True,
         query_batching: bool = True,
+        local_addresses: Optional[Iterable[Any]] = None,
+        shard_map: Optional[Dict[Any, int]] = None,
+        compact_min_cancelled: Optional[int] = None,
+        compact_ratio: Optional[float] = None,
     ):
+        """``local_addresses``/``shard_map`` configure this instance as one
+        shard of a larger simulation (see :mod:`repro.net.sharding`): hosts
+        and engines exist only for the local addresses, and messages for
+        remote nodes are parked on ``network.outbound`` for the barrier
+        protocol.  ``compact_min_cancelled``/``compact_ratio`` tune the
+        simulator's heap compaction for huge sharded runs."""
         self.topology = topology
         self.mode = mode
         self.link_cost = link_cost
@@ -93,10 +103,17 @@ class ExspanNetwork:
         self.prepared: PreparedProgram = prepare_program(
             program, mode, collector=collector, value_policy=value_policy
         )
-        self.network = Network(topology)
+        self.network = Network(
+            topology,
+            local_nodes=local_addresses,
+            shard_map=shard_map,
+            compact_min_cancelled=compact_min_cancelled,
+            compact_ratio=compact_ratio,
+        )
         self.simulator: Simulator = self.network.simulator
         self.nodes: Dict[Any, ExspanNode] = {}
-        for address in topology.nodes:
+        members = topology.nodes if local_addresses is None else list(local_addresses)
+        for address in members:
             self.nodes[address] = self._build_node(address)
 
     # ------------------------------------------------------------------ #
@@ -221,6 +238,9 @@ class ExspanNetwork:
         """
         inserted = 0
         for source, destination, link_cost in self.topology.link_facts():
+            if source not in self.nodes:
+                # Sharded instance: this fact belongs to another shard.
+                continue
             value = cost if cost is not None else link_cost
             self.insert_fact(Fact("link", (source, destination, value)), process=False)
             inserted += 1
@@ -233,8 +253,10 @@ class ExspanNetwork:
         value = cost if cost is not None else self.link_cost
         if not self.topology.has_link(a, b):
             self.topology.add_link(a, b, LinkSpec(cost=value))
-        self.insert_fact(Fact("link", (a, b, value)))
-        self.insert_fact(Fact("link", (b, a, value)))
+        if a in self.nodes:
+            self.insert_fact(Fact("link", (a, b, value)))
+        if b in self.nodes:
+            self.insert_fact(Fact("link", (b, a, value)))
 
     def remove_link(self, a: Any, b: Any) -> None:
         """Remove a symmetric link at runtime (churn)."""
@@ -244,8 +266,10 @@ class ExspanNetwork:
             self.topology.remove_link(a, b)
         else:
             cost = self.link_cost
-        self.delete_fact(Fact("link", (a, b, cost)))
-        self.delete_fact(Fact("link", (b, a, cost)))
+        if a in self.nodes:
+            self.delete_fact(Fact("link", (a, b, cost)))
+        if b in self.nodes:
+            self.delete_fact(Fact("link", (b, a, cost)))
 
     # ------------------------------------------------------------------ #
     # execution

@@ -6,68 +6,107 @@ become boolean variables, ``+`` becomes OR, ``·`` becomes AND, and the
 canonical reduced form of the BDD applies absorption automatically —
 ``a · (a + b)`` collapses to ``a``.  The prototype used an off-the-shelf BDD
 library; this module is a from-scratch pure-Python ROBDD with the standard
-unique-table + apply-cache construction.
+unique-table + computed-table construction.
 
 The public entry point is :class:`BddManager`; :class:`Bdd` values are
 immutable handles that support ``&``, ``|``, ``~``, restriction, model
 counting, satisfiability and conversion back to a minimal DNF.  A
 :func:`Bdd.wire_size` estimate feeds the bandwidth accounting of the BDD
 provenance-query experiments (Figure 15).
+
+Canonical variable order
+------------------------
+Variables are ordered lexicographically by *name* (base-tuple VIDs), not by
+allocation order.  Two managers that build the same boolean function —
+even in different processes, interleaving variable discoveries differently
+— therefore produce structurally identical reduced BDDs, with identical
+node and wire-size counts.  The sharded engine depends on this: value-mode
+annotations cross shard boundaries as exported structures
+(:func:`export_bdd` / :func:`import_bdd`) and are re-interned into the
+receiving shard's manager bit-identically.
+
+Bounded computed table
+----------------------
+``_apply`` / ``_negate`` memoize through a *bounded* computed table: when
+the table reaches its capacity it is flushed wholesale (the classic BDD
+package policy — cheap, deterministic, and result-invariant since the
+table is pure memoization).  Long trials that re-walk shared DAG structure
+on every apply (fig15's polynomial-vs-BDD sweeps) get the hit rate without
+unbounded growth; per-handle ``node_count``/``wire_size`` walks are also
+cached per node id (node ids are immutable and never recycled, so these
+caches never invalidate).  :meth:`BddManager.cache_stats` and the
+process-wide :func:`bdd_cache_stats` report hits / misses / flushes.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["BddManager", "Bdd", "BDD_NODE_BYTES"]
+__all__ = [
+    "BddManager",
+    "Bdd",
+    "BDD_NODE_BYTES",
+    "APPLY_CACHE_LIMIT",
+    "export_bdd",
+    "import_bdd",
+    "bdd_cache_stats",
+]
 
 #: Serialized size charged per BDD node (variable index + two node pointers).
 BDD_NODE_BYTES = 6
 
+#: Default computed-table capacity (entries) before a wholesale flush.
+APPLY_CACHE_LIMIT = 1 << 18
+
+#: Live managers, so :func:`bdd_cache_stats` can aggregate process-wide.
+_MANAGERS: "weakref.WeakSet[BddManager]" = weakref.WeakSet()
+
 
 @dataclass(frozen=True)
 class _Node:
-    """An internal BDD node: variable index, low (else) and high (then) ids."""
+    """An internal BDD node: variable name, low (else) and high (then) ids.
 
-    var: int
+    ``var`` is the variable *name*; the ordering relation between variables
+    is plain string comparison, which is what makes reduced forms canonical
+    across managers (see module docstring).
+    """
+
+    var: str
     low: int
     high: int
 
 
 class BddManager:
-    """Owns the unique table, the apply cache and the variable ordering."""
+    """Owns the unique table, the computed table and the variable registry."""
 
     FALSE_ID = 0
     TRUE_ID = 1
 
-    def __init__(self) -> None:
+    def __init__(self, apply_cache_limit: int = APPLY_CACHE_LIMIT) -> None:
+        if apply_cache_limit < 1:
+            raise ValueError("apply_cache_limit must be positive")
         # node id -> _Node; ids 0 and 1 are the terminal constants
         self._nodes: Dict[int, _Node] = {}
-        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._unique: Dict[Tuple[str, int, int], int] = {}
         self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._apply_cache_limit = apply_cache_limit
         self._next_id = 2
-        self._var_index: Dict[str, int] = {}
-        self._var_names: List[str] = []
+        self._vars: Set[str] = set()
+        self._node_count_cache: Dict[int, int] = {}
+        self._support_cache: Dict[int, FrozenSet[str]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_flushes = 0
+        _MANAGERS.add(self)
 
     # ------------------------------------------------------------------ #
     # variables and terminals
     # ------------------------------------------------------------------ #
-    def variable_index(self, name: str) -> int:
-        """Return (allocating if needed) the ordering index of variable *name*."""
-        index = self._var_index.get(name)
-        if index is None:
-            index = len(self._var_names)
-            self._var_index[name] = index
-            self._var_names.append(name)
-        return index
-
-    def variable_name(self, index: int) -> str:
-        return self._var_names[index]
-
     @property
     def variable_count(self) -> int:
-        return len(self._var_names)
+        return len(self._vars)
 
     def false(self) -> "Bdd":
         return Bdd(self, self.FALSE_ID)
@@ -77,13 +116,13 @@ class BddManager:
 
     def var(self, name: str) -> "Bdd":
         """Return the BDD for a single variable."""
-        index = self.variable_index(name)
-        return Bdd(self, self._make_node(index, self.FALSE_ID, self.TRUE_ID))
+        self._vars.add(name)
+        return Bdd(self, self._make_node(name, self.FALSE_ID, self.TRUE_ID))
 
     # ------------------------------------------------------------------ #
     # node construction (reduction rules applied here)
     # ------------------------------------------------------------------ #
-    def _make_node(self, var: int, low: int, high: int) -> int:
+    def _make_node(self, var: str, low: int, high: int) -> int:
         if low == high:
             return low
         key = (var, low, high)
@@ -102,6 +141,36 @@ class BddManager:
         return node_id in (self.FALSE_ID, self.TRUE_ID)
 
     # ------------------------------------------------------------------ #
+    # computed table
+    # ------------------------------------------------------------------ #
+    def _cache_get(self, key: Tuple[str, int, int]) -> Optional[int]:
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return cached
+
+    def _cache_put(self, key: Tuple[str, int, int], result: int) -> None:
+        if len(self._apply_cache) >= self._apply_cache_limit:
+            # Wholesale flush: bounded memory, deterministic results (the
+            # table is pure memoization), standard BDD-package policy.
+            self._apply_cache.clear()
+            self.cache_flushes += 1
+        self._apply_cache[key] = result
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Computed-table and walk-cache counters for this manager."""
+        return {
+            "apply_cache_hits": self.cache_hits,
+            "apply_cache_misses": self.cache_misses,
+            "apply_cache_flushes": self.cache_flushes,
+            "apply_cache_entries": len(self._apply_cache),
+            "node_count_cached": len(self._node_count_cache),
+            "support_cached": len(self._support_cache),
+        }
+
+    # ------------------------------------------------------------------ #
     # apply
     # ------------------------------------------------------------------ #
     def _apply(self, op: str, left: int, right: int) -> int:
@@ -109,7 +178,7 @@ class BddManager:
         if terminal is not None:
             return terminal
         key = (op, left, right) if left <= right else (op, right, left)
-        cached = self._apply_cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         left_var = None if self._is_terminal(left) else self._node(left).var
@@ -123,7 +192,7 @@ class BddManager:
         low = self._apply(op, left_low, right_low)
         high = self._apply(op, left_high, right_high)
         result = self._make_node(top, low, high)
-        self._apply_cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def _apply_terminal(self, op: str, left: int, right: int) -> Optional[int]:
@@ -147,7 +216,7 @@ class BddManager:
                 return left
         return None
 
-    def _cofactors(self, node_id: int, var: Optional[int]) -> Tuple[int, int]:
+    def _cofactors(self, node_id: int, var: Optional[str]) -> Tuple[int, int]:
         if self._is_terminal(node_id):
             return node_id, node_id
         node = self._node(node_id)
@@ -161,17 +230,17 @@ class BddManager:
         if node_id == self.TRUE_ID:
             return self.FALSE_ID
         key = ("not", node_id, node_id)
-        cached = self._apply_cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         node = self._node(node_id)
         result = self._make_node(
             node.var, self._negate(node.low), self._negate(node.high)
         )
-        self._apply_cache[key] = result
+        self._cache_put(key, result)
         return result
 
-    def _restrict(self, node_id: int, var: int, value: bool) -> int:
+    def _restrict(self, node_id: int, var: str, value: bool) -> int:
         if self._is_terminal(node_id):
             return node_id
         node = self._node(node_id)
@@ -253,8 +322,7 @@ class Bdd:
         """Fix some variables to constants and return the simplified BDD."""
         node_id = self.node_id
         for name, value in assignment.items():
-            index = self.manager.variable_index(name)
-            node_id = self.manager._restrict(node_id, index, value)
+            node_id = self.manager._restrict(node_id, name, value)
         return Bdd(self.manager, node_id)
 
     def evaluate(self, assignment: Dict[str, bool]) -> bool:
@@ -263,20 +331,24 @@ class Bdd:
         manager = self.manager
         while not manager._is_terminal(node_id):
             node = manager._node(node_id)
-            name = manager.variable_name(node.var)
-            node_id = node.high if assignment.get(name, False) else node.low
+            node_id = node.high if assignment.get(node.var, False) else node.low
         return node_id == BddManager.TRUE_ID
 
     def support(self) -> FrozenSet[str]:
-        """The set of variables this BDD actually depends on."""
-        names: Set[str] = set()
-        for node in self._reachable_nodes():
-            names.add(self.manager.variable_name(node.var))
-        return frozenset(names)
+        """The set of variables this BDD actually depends on (cached)."""
+        cached = self.manager._support_cache.get(self.node_id)
+        if cached is None:
+            cached = frozenset(node.var for node in self._reachable_nodes())
+            self.manager._support_cache[self.node_id] = cached
+        return cached
 
     def node_count(self) -> int:
-        """Number of internal nodes (excluding the terminals)."""
-        return len(list(self._reachable_nodes()))
+        """Number of internal nodes, excluding the terminals (cached)."""
+        cached = self.manager._node_count_cache.get(self.node_id)
+        if cached is None:
+            cached = sum(1 for _ in self._reachable_nodes())
+            self.manager._node_count_cache[self.node_id] = cached
+        return cached
 
     def _reachable_nodes(self) -> Iterable[_Node]:
         seen: Set[int] = set()
@@ -316,8 +388,7 @@ class Bdd:
             out.add(frozenset(path))
             return
         node = self.manager._node(node_id)
-        name = self.manager.variable_name(node.var)
-        self._collect_products(node.high, path + [name], out)
+        self._collect_products(node.high, path + [node.var], out)
         self._collect_products(node.low, path, out)
 
     def wire_size(self) -> int:
@@ -338,3 +409,74 @@ class Bdd:
         if self.is_true:
             return "Bdd(True)"
         return f"Bdd(nodes={self.node_count()})"
+
+
+# ---------------------------------------------------------------------- #
+# cross-manager transport
+# ---------------------------------------------------------------------- #
+def export_bdd(bdd: Bdd) -> Tuple[Any, ...]:
+    """Serialize a BDD to a manager-independent structure.
+
+    The result is ``(root_ref, ((var, low_ref, high_ref), ...))`` where a
+    *ref* is ``False``/``True`` for the terminals or an index into the node
+    tuple.  Nodes are listed in deterministic bottom-up order, so equal
+    functions export to equal structures regardless of the source manager —
+    and the structure is plain picklable data, which is how value-mode
+    annotations and their sizes survive a shard boundary.
+    """
+    manager = bdd.manager
+    refs: Dict[int, Any] = {BddManager.FALSE_ID: False, BddManager.TRUE_ID: True}
+    nodes: List[Tuple[str, Any, Any]] = []
+
+    def visit(node_id: int) -> Any:
+        ref = refs.get(node_id)
+        if ref is not None or node_id in refs:
+            return refs[node_id]
+        node = manager._node(node_id)
+        low = visit(node.low)
+        high = visit(node.high)
+        refs[node_id] = len(nodes)
+        nodes.append((node.var, low, high))
+        return refs[node_id]
+
+    root = visit(bdd.node_id)
+    return (root, tuple(nodes))
+
+
+def import_bdd(manager: BddManager, data: Tuple[Any, ...]) -> Bdd:
+    """Rebuild an exported BDD inside *manager* (see :func:`export_bdd`).
+
+    Because variable order is canonical (lexicographic by name), the
+    rebuilt BDD is structurally identical to the exported one: same node
+    count, same wire size, same semantics.
+    """
+    root, nodes = data
+    ids: List[int] = []
+
+    def resolve(ref: Any) -> int:
+        if ref is False:
+            return BddManager.FALSE_ID
+        if ref is True:
+            return BddManager.TRUE_ID
+        return ids[ref]
+
+    for var, low, high in nodes:
+        manager._vars.add(var)
+        ids.append(manager._make_node(var, resolve(low), resolve(high)))
+    return Bdd(manager, resolve(root))
+
+
+def bdd_cache_stats() -> Dict[str, int]:
+    """Aggregate computed-table counters across every live manager."""
+    totals: Dict[str, int] = {
+        "apply_cache_hits": 0,
+        "apply_cache_misses": 0,
+        "apply_cache_flushes": 0,
+        "apply_cache_entries": 0,
+        "node_count_cached": 0,
+        "support_cached": 0,
+    }
+    for manager in list(_MANAGERS):
+        for key, value in manager.cache_stats().items():
+            totals[key] += value
+    return totals

@@ -66,6 +66,7 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
             results_dir=arguments.results_dir,
             resume=not arguments.no_resume,
             planner=arguments.planner,
+            shards=arguments.shards,
             verbose=arguments.verbose,
         )
     except KeyError as error:
@@ -143,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--planner", choices=PLANNERS, default=None,
         help="force an NDlog evaluation strategy into every trial",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="default worker-shard count for shard-capable trials (the "
+        "sharded engine is bit-identical to serial, so artifacts are "
+        "byte-identical for any value — CI exploits that as a gate)",
     )
     run_parser.add_argument("--verbose", action="store_true")
     run_parser.set_defaults(handler=_cmd_run)

@@ -43,7 +43,7 @@ from .scenarios import (
     resolve_scenarios,
     run_trial_spec,
 )
-from .trials import TRIAL_FUNCTIONS
+from .trials import TRIAL_FUNCTIONS, set_default_shards
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -240,6 +240,7 @@ def run(
     results_dir: str = DEFAULT_RESULTS_DIR,
     resume: bool = True,
     planner: Optional[str] = None,
+    shards: Optional[int] = None,
     verbose: bool = False,
 ) -> RunReport:
     """Run scenarios and write one ``BENCH_<scenario>.json`` per scenario.
@@ -248,10 +249,17 @@ def run(
     ``planner`` forces an evaluation strategy into every trial whose
     function takes one and does not already sweep it (it becomes part of
     the trial fingerprints, so planner-forced artifacts never alias
-    default ones).  With ``resume`` (the default), trials whose stored
-    fingerprint still matches are reused from the existing artifact
-    instead of re-executed.
+    default ones).  ``shards`` sets the process-wide default worker-shard
+    count for shard-capable trials; unlike ``planner`` it deliberately does
+    **not** enter kwargs or fingerprints, because the sharded engine is
+    bit-identical to the serial one — artifacts produced under any
+    ``shards`` value must match byte for byte, which is how CI verifies
+    the engine's determinism guarantee against the committed baselines.
+    With ``resume`` (the default), trials whose stored fingerprint still
+    matches are reused from the existing artifact instead of re-executed.
     """
+    if shards is not None:
+        set_default_shards(shards)
     scenarios = resolve_scenarios(names)
     report = RunReport(scale=scale, workers=workers)
 
@@ -304,7 +312,11 @@ def run(
     executed: Dict[Tuple[str, str], Dict[str, Any]] = {}
     if pending:
         if workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=set_default_shards,
+                initargs=(shards if shards is not None else 1,),
+            ) as pool:
                 results = list(pool.map(_run_task, pending, chunksize=1))
         else:
             results = [_run_task(task) for task in pending]

@@ -23,6 +23,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..datalog.engine import PLANNERS, set_default_planner
+from .trials import set_default_shards
 from .figures import (
     figure_06_mincost_communication,
     figure_07_pathvector_communication,
@@ -116,9 +117,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compiled join plans, the default) or 'naive' (left-to-right "
         "nested loops, for baseline comparisons)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker-shard count for shard-capable trials (fig 6/7 comm "
+        "cost, fig 17 fixpoints); results are bit-identical for any value",
+    )
     arguments = parser.parse_args(argv)
     if arguments.planner is not None:
         set_default_planner(arguments.planner)
+    if arguments.shards is not None:
+        set_default_shards(arguments.shards)
     results = run_figures(
         arguments.figure, paper_scale=arguments.paper_scale, verbose=not arguments.quiet
     )

@@ -646,6 +646,53 @@ _scenario(
 )
 
 
+def _expand_scale_sweep(params: Mapping[str, Any]) -> List[TrialSpec]:
+    fixed = _pick(params, "mode", "seed", "planner")
+    return [
+        TrialSpec(
+            scenario=params["_scenario"],
+            trial_id=f"program={program}/size={size}/shards={shards}",
+            fn="scale_fixpoint",
+            kwargs={"program": program, "size": size, "shards": shards, **fixed},
+        )
+        for program in params["programs"]
+        for size in params["sizes"]
+        for shards in params["shards"]
+    ]
+
+
+_expand_scale_sweep.override_keys = ("planner",)
+
+
+_scenario(
+    "scale_sweep",
+    _expand_scale_sweep,
+    title="Paper-scale fixpoints on the sharded engine",
+    x_label="Number of Nodes",
+    y_label="Average Comm. Cost (MB)",
+    description=(
+        "Registry-only sweep: PATHVECTOR and MINCOST fixpoints on large "
+        "clustered topologies, swept over worker-shard counts.  Every "
+        "counter is identical across shard counts (the determinism "
+        "guarantee of the sharded engine — gated in CI); the advisory "
+        "wall_seconds column shows the wall-clock scaling on multi-core "
+        "machines.  Paper scale covers 256/512/1024-node topologies at "
+        "shards of 1/2/4/8."
+    ),
+    quick={
+        "programs": ("pathvector", "mincost"),
+        "sizes": (64,),
+        "shards": (1, 2),
+        "mode": "ref",
+        "seed": 0,
+    },
+    paper={
+        "sizes": (256, 512, 1024),
+        "shards": (1, 2, 4, 8),
+    },
+)
+
+
 def _expand_planner_ablation(params: Mapping[str, Any]) -> List[TrialSpec]:
     fixed = _pick(params, "seed")
     return [

@@ -38,9 +38,11 @@ from ..core.modes import ProvenanceMode
 from ..core.query import TraversalOrder
 from ..datalog import Fact, StandaloneNetwork
 from ..datalog.ast import Program
+from ..net.sharding import ShardedExspanNetwork, collect_summary
 from ..net.stats import cdf_points
 from ..net.topology import (
     Topology,
+    cluster_topology,
     grid_topology,
     ring_topology,
     transit_stub_topology,
@@ -56,8 +58,13 @@ __all__ = [
     "PROGRAM_FACTORIES",
     "TRIAL_FUNCTIONS",
     "build_network",
+    "set_default_shards",
+    "resolve_shards",
+    "fixpoint_summary",
     "size_topology",
+    "scale_topology",
     "trial_result",
+    "scale_fixpoint_trial",
     "comm_cost_trial",
     "packet_bandwidth_trial",
     "churn_trial",
@@ -116,6 +123,54 @@ def build_network(
     if run_to_fixpoint:
         network.run_to_fixpoint()
     return network
+
+
+#: Process-wide default worker count for shard-capable trials.  ``1`` means
+#: serial in-process execution.  Like ``PYTHONHASHSEED``, this is an
+#: *execution environment* knob, never part of a trial's kwargs or
+#: fingerprint: the sharded engine is bit-identical to the serial one, so
+#: artifacts produced under any default must be byte-identical — which is
+#: exactly what the CI determinism check verifies by diffing a
+#: ``--shards 2`` run against the committed (serial) baselines.
+DEFAULT_SHARDS = 1
+
+
+def set_default_shards(shards: int) -> None:
+    """Set the process-wide shard default (orchestrator ``--shards``)."""
+    global DEFAULT_SHARDS
+    DEFAULT_SHARDS = max(1, int(shards))
+
+
+def resolve_shards(explicit: Optional[int]) -> int:
+    """Effective shard count: the explicit kwarg, else the process default."""
+    return DEFAULT_SHARDS if explicit is None else max(1, int(explicit))
+
+
+def fixpoint_summary(
+    topology: Topology,
+    program: Program,
+    mode: ProvenanceMode,
+    seed: int = 0,
+    planner: Optional[str] = None,
+    shards: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Seed + fixpoint a network, serial or sharded, and summarize it.
+
+    The summary dict (:func:`repro.net.sharding.collect_summary`) carries
+    every counter the fixpoint trials report; the sharded engine produces
+    the identical dict for any worker count, so trials built on this helper
+    yield byte-identical artifacts under any ``shards`` setting.
+    """
+    count = resolve_shards(shards)
+    if count <= 1:
+        network = build_network(topology, program, mode, seed=seed, planner=planner)
+        return collect_summary(network)
+    with ShardedExspanNetwork(
+        topology, program, mode=mode, shards=count, seed=seed, planner=planner
+    ) as sharded:
+        sharded.seed_links()
+        sharded.run_to_fixpoint()
+        return sharded.summary()
 
 
 def size_topology(size: int, seed: int) -> Topology:
@@ -185,6 +240,15 @@ def _network_result(
     )
 
 
+def _summary_result(
+    summary: Dict[str, Any],
+    series: Dict[str, List[List[float]]],
+    notes: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Package *series*/*notes* with a fixpoint summary's counters."""
+    return trial_result(series, notes, summary["planner"], summary["traffic"])
+
+
 # ---------------------------------------------------------------------- #
 # Figures 6, 7: communication cost to fixpoint vs network size
 # ---------------------------------------------------------------------- #
@@ -195,17 +259,22 @@ def comm_cost_trial(
     seed: int = 0,
     max_cost: Optional[int] = None,
     planner: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Per-node communication cost (MB) to fixpoint at one (size, mode)."""
+    """Per-node communication cost (MB) to fixpoint at one (size, mode).
+
+    ``shards`` (default: the process-wide ``--shards`` setting) selects the
+    sharded multi-process engine; results are identical for any value.
+    """
     topology = size_topology(size, seed)
-    network = build_network(
-        topology, _program(program, max_cost), _mode(mode), seed=seed, planner=planner
+    summary = fixpoint_summary(
+        topology, _program(program, max_cost), _mode(mode), seed=seed,
+        planner=planner, shards=shards,
     )
-    per_node_mb = network.average_maintenance_bytes_per_node() / 1e6
+    node_count = topology.node_count()
+    per_node_mb = summary["traffic"]["maintenance_bytes"] / node_count / 1e6
     label = MODE_LABELS[_mode(mode)]
-    return _network_result(
-        network, {label: [[topology.node_count(), per_node_mb]]}, {}
-    )
+    return _summary_result(summary, {label: [[node_count, per_node_mb]]}, {})
 
 
 # ---------------------------------------------------------------------- #
@@ -679,14 +748,64 @@ def testbed_fixpoint_trial(
     mode: str,
     seed: int = 0,
     planner: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """PATHVECTOR fixpoint latency (s) at one (size, mode) on the testbed."""
     topology = ring_topology(size, seed=seed)
-    network = build_network(
-        topology, pathvector_program(), _mode(mode), seed=seed, planner=planner
+    summary = fixpoint_summary(
+        topology, pathvector_program(), _mode(mode), seed=seed, planner=planner,
+        shards=shards,
     )
     label = MODE_LABELS[_mode(mode)]
-    return _network_result(network, {label: [[size, network.now]]}, {})
+    return _summary_result(
+        summary, {label: [[size, summary["fixpoint_time"]]]}, {}
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scale sweep (registry-only): paper-scale fixpoints on the sharded engine
+# ---------------------------------------------------------------------- #
+def scale_topology(size: int, seed: int) -> Topology:
+    """A clustered topology of exactly *size* nodes for the scale sweep.
+
+    Clusters of 32 nodes joined by slow inter-cluster links (see
+    :func:`~repro.net.topology.cluster_topology`); sizes that are not a
+    multiple of 32 round to the nearest cluster count.
+    """
+    clusters = max(2, round(size / 32))
+    return cluster_topology(clusters, 32, seed=seed)
+
+
+def scale_fixpoint_trial(
+    program: str,
+    size: int,
+    shards: int,
+    mode: str = "ref",
+    seed: int = 0,
+    planner: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Fixpoint one paper-scale topology on the sharded engine.
+
+    The y value is per-node maintenance MB at fixpoint; the notes carry
+    the fixpoint latency and message counts.  Sweeping ``shards`` puts the
+    engine's headline guarantee on the record: every curve of a scale
+    sweep is **identical** across shard counts (the CI gate diffs them),
+    while wall-clock (advisory ``wall_seconds`` in the artifact) drops as
+    workers are added on multi-core machines.
+    """
+    topology = scale_topology(size, seed)
+    summary = fixpoint_summary(
+        topology, _program(program), _mode(mode), seed=seed, planner=planner,
+        shards=shards,
+    )
+    node_count = topology.node_count()
+    per_node_mb = summary["traffic"]["maintenance_bytes"] / node_count / 1e6
+    label = f"{program} shards={shards}"
+    notes = {
+        f"{label} fixpoint (s) @n={node_count}": round(summary["fixpoint_time"], 6),
+        f"{label} messages @n={node_count}": summary["traffic"]["total_messages"],
+    }
+    return _summary_result(summary, {label: [[node_count, per_node_mb]]}, notes)
 
 
 # ---------------------------------------------------------------------- #
@@ -738,4 +857,5 @@ TRIAL_FUNCTIONS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "testbed_bandwidth": testbed_bandwidth_trial,
     "testbed_fixpoint": testbed_fixpoint_trial,
     "planner_fixpoint": planner_fixpoint_trial,
+    "scale_fixpoint": scale_fixpoint_trial,
 }

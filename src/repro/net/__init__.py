@@ -14,8 +14,12 @@ from .stats import LatencyStats, MessageRecord, TrafficStats, cdf_points
 from .topology import (
     LinkSpec,
     Topology,
+    cluster_topology,
     grid_topology,
     line_topology,
+    partition_cut_edges,
+    partition_lookahead,
+    partition_topology,
     ring_topology,
     transit_stub_topology,
 )
@@ -40,8 +44,12 @@ __all__ = [
     "cdf_points",
     "LinkSpec",
     "Topology",
+    "cluster_topology",
     "grid_topology",
     "line_topology",
+    "partition_cut_edges",
+    "partition_lookahead",
+    "partition_topology",
     "ring_topology",
     "transit_stub_topology",
 ]

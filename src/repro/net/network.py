@@ -16,20 +16,60 @@ Besides single-payload :meth:`Network.send`, the network ships batched
 messages (:meth:`Network.send_batch`): several payloads for one destination
 share one envelope and one header charge — see :mod:`repro.net.host` for
 the turn-scoped outbox that produces them.
+
+Deterministic delivery order
+----------------------------
+Every delivery event is keyed ``(send time, source rank, per-source send
+sequence)`` in the simulator's ``(time, key, sequence)`` order.  Deliveries
+colliding at one instant execute in causal send-time order first (what a
+single global FIFO queue produces naturally); ties are broken by the
+source's index in the topology's node order and by a counter the source
+alone advances.  Every component is a pure function of the sender's local
+history — independent of global scheduling interleavings.  This is the
+invariant the sharded engine (:mod:`repro.net.sharding`) relies on: a
+shard that receives the same messages reconstructs the very same delivery
+order from ``(time, key)`` alone, making an N-shard run bit-identical to
+the serial one.
+
+Shard-aware routing
+-------------------
+A network can be configured as one *shard* of a larger simulation: it then
+owns hosts only for its ``local_nodes`` and, instead of scheduling delivery
+for a message addressed to a remote node, parks the message (with its
+ordering key and delivery time) in :attr:`Network.outbound` for the barrier
+protocol to ship.  Senders are always local, so traffic statistics stay
+exact per shard and merge by concatenation.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from .errors import NoRouteError, UnknownNodeError
+from .errors import NetworkError, NoRouteError, UnknownNodeError
 from .host import Host
 from .message import HEADER_OVERHEAD, Message, payload_size
 from .simulator import Simulator
 from .stats import TrafficStats
 from .topology import Topology
 
-__all__ = ["Network"]
+__all__ = ["Network", "OutboundMessage"]
+
+
+@dataclass(frozen=True)
+class OutboundMessage:
+    """A message bound for another shard, with its deterministic order key.
+
+    ``time`` is the absolute delivery time (already including the
+    shortest-path latency computed by the sender's shard from the shared
+    topology replica) and ``key`` the ``(source rank, send sequence)``
+    pair; sorting envelopes by ``(time, key)`` reproduces exactly the
+    delivery order the serial engine would execute.
+    """
+
+    time: float
+    key: Tuple[float, int, int]
+    message: Message
 
 
 class Network:
@@ -41,15 +81,48 @@ class Network:
         simulator: Optional[Simulator] = None,
         default_latency: float = 0.001,
         model_transmission_delay: bool = False,
+        local_nodes: Optional[Iterable[Any]] = None,
+        shard_map: Optional[Mapping[Any, int]] = None,
+        compact_min_cancelled: Optional[int] = None,
+        compact_ratio: Optional[float] = None,
     ):
         self.topology = topology
-        self.simulator = simulator if simulator is not None else Simulator()
+        if simulator is not None:
+            self.simulator = simulator
+        else:
+            kwargs: Dict[str, Any] = {}
+            if compact_min_cancelled is not None:
+                kwargs["compact_min_cancelled"] = compact_min_cancelled
+            if compact_ratio is not None:
+                kwargs["compact_ratio"] = compact_ratio
+            self.simulator = Simulator(**kwargs)
         self.stats = TrafficStats()
         self.default_latency = default_latency
         self.model_transmission_delay = model_transmission_delay
         self._hosts: Dict[Any, Host] = {}
         self._drop_disconnected = False
-        for node in topology.nodes:
+        # Deterministic source ranks: topology node order.  Nodes that show
+        # up later (dynamically added hosts in unit tests) are ranked in
+        # first-send order past the initial block.
+        self._rank: Dict[Any, int] = {
+            node: index for index, node in enumerate(topology.nodes)
+        }
+        self._source_seq: Dict[Any, int] = {}
+        # Shard configuration: with a shard_map, messages for nodes whose
+        # shard differs from the local nodes' shard are parked in
+        # ``outbound`` instead of being scheduled (see module docstring).
+        self._shard_map: Optional[Mapping[Any, int]] = shard_map
+        self._shard_id: Optional[int] = None
+        self.outbound: List[OutboundMessage] = []
+        members = topology.nodes if local_nodes is None else list(local_nodes)
+        if shard_map is not None and members:
+            shards = {shard_map[node] for node in members}
+            if len(shards) != 1:
+                raise NetworkError(
+                    f"local nodes span multiple shards: {sorted(shards)}"
+                )
+            self._shard_id = shards.pop()
+        for node in members:
             self.add_host(node)
 
     # ------------------------------------------------------------------ #
@@ -60,6 +133,7 @@ class Network:
         if host is None:
             host = Host(address, self)
             self._hosts[address] = host
+            self._rank.setdefault(address, len(self._rank))
         return host
 
     def host(self, address: Any) -> Host:
@@ -77,6 +151,24 @@ class Network:
     @property
     def node_count(self) -> int:
         return len(self._hosts)
+
+    @property
+    def shard_id(self) -> Optional[int]:
+        return self._shard_id
+
+    def is_local(self, address: Any) -> bool:
+        """Whether *address* is simulated by this network (shard)."""
+        if self._shard_map is None:
+            return True
+        return self._shard_map.get(address) == self._shard_id
+
+    def rank(self, address: Any) -> int:
+        """Deterministic rank of *address* (its delivery-key component)."""
+        rank = self._rank.get(address)
+        if rank is None:
+            rank = len(self._rank)
+            self._rank[address] = rank
+        return rank
 
     # ------------------------------------------------------------------ #
     # messaging
@@ -122,7 +214,14 @@ class Network:
 
     def _dispatch(self, message: Message) -> Message:
         """Common path: bill the message, record it, schedule its delivery."""
-        destination_host = self.host(message.destination)
+        # Validate the destination BEFORE billing anything, so a failed
+        # send cannot corrupt the traffic counters (and a sharded network
+        # rejects unknown nodes at send time instead of parking them).
+        local = self.is_local(message.destination)
+        if local:
+            destination_host = self.host(message.destination)
+        elif message.destination not in self._shard_map:
+            raise UnknownNodeError(message.destination)
         message.compute_size()
         message.sent_at = self.simulator.now
         self.stats.record(
@@ -131,8 +230,43 @@ class Network:
         )
         latency = self._latency(message.source, message.destination, message.size)
         message.delivered_at = self.simulator.now + latency
-        self.simulator.schedule(latency, lambda: destination_host.deliver(message))
+        seq = self._source_seq.get(message.source, 0)
+        self._source_seq[message.source] = seq + 1
+        # Deliveries colliding at one instant execute in send-time order
+        # first (matching the causal FIFO a single global queue produces),
+        # then by (source rank, per-source sequence) — every component is a
+        # pure function of the sender's local history, never of global
+        # scheduling order, so shards reconstruct the same total order.
+        key = (message.sent_at, self.rank(message.source), seq)
+        if local:
+            self.simulator.schedule_at(
+                message.delivered_at,
+                lambda: destination_host.deliver(message),
+                key=key,
+            )
+        else:
+            self.outbound.append(
+                OutboundMessage(time=message.delivered_at, key=key, message=message)
+            )
         return message
+
+    def inject(self, message: Message, time: float, key: Tuple[float, int, int]) -> None:
+        """Schedule delivery of a message shipped in from another shard.
+
+        ``time``/``key`` come from the sender's :class:`OutboundMessage`,
+        so the local simulator slots the delivery exactly where the serial
+        engine would have.  The simulator itself asserts ``time`` does not
+        precede the safe time (the conservative-lookahead guarantee).
+        """
+        destination_host = self.host(message.destination)
+        self.simulator.schedule_at(
+            time, lambda: destination_host.deliver(message), key=key
+        )
+
+    def drain_outbound(self) -> List[OutboundMessage]:
+        """Return and clear the cross-shard messages parked since last drain."""
+        drained, self.outbound = self.outbound, []
+        return drained
 
     def _latency(self, source: Any, destination: Any, size: int) -> float:
         if source == destination:

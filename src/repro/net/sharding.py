@@ -1,0 +1,858 @@
+"""Sharded multi-process simulation engine (conservative windowed PDES).
+
+One paper-scale simulation — hundreds to a thousand-plus nodes — is
+partitioned across N worker processes, each driving its own
+:class:`~repro.net.simulator.Simulator` over a slice of the hosts.  The
+engine is a classic *conservative* parallel discrete-event simulation:
+
+* **Partition.**  :func:`~repro.net.topology.partition_topology` splits the
+  hosts into balanced shards, cutting as few and as slow links as possible.
+* **Lookahead.**  Any message between shards crosses the cut at least once,
+  so its end-to-end latency is at least the minimum cut-edge latency — the
+  *lookahead window* ``W`` (:func:`~repro.net.topology.partition_lookahead`).
+  A message sent at time *t* can never affect another shard before
+  ``t + W``.
+* **Windows and barriers.**  All shards run the window ``[T, T + W)``
+  concurrently (events strictly before the horizon), then exchange the
+  messages that crossed the cut.  Cross-shard messages always land in a
+  *later* window, so no shard ever receives an event in its past; the
+  simulator's ``safe_time`` assertion enforces exactly that.
+* **Determinism.**  Every delivery carries the shard-invariant ordering key
+  ``(send time, source rank, per-source sequence)`` assigned by the sender
+  (:mod:`repro.net.network`).  Envelopes are exchanged and injected in
+  sorted ``(time, key)`` order, and each shard's simulator executes by the
+  same ``(time, key)`` relation the serial engine uses — so fixpoints,
+  VIDs, provenance annotations and every traffic counter are **identical
+  to the single-process engine**, independent of worker count and
+  ``PYTHONHASHSEED``.
+
+Workers are forked (so they inherit the parsed program and topology
+without pickling) and spoken to over pipes.  Value-mode BDD annotations
+cross shard boundaries as manager-independent structures
+(:func:`~repro.core.bdd.export_bdd`); thanks to the canonical
+(name-ordered) BDD variable order they re-intern bit-identically into the
+receiving shard's manager.
+
+External inputs — link churn, base-fact changes, provenance queries — are
+*scripted*: they apply at simulated times that become window barriers, so
+the same script drives a serial :class:`~repro.core.api.ExspanNetwork`
+(via :func:`apply_script_serial`) and a sharded run to identical states.
+The equivalence tests in ``tests/test_sharding.py`` assert exactly that,
+via :func:`collect_digest` / :func:`collect_summary`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.bdd import Bdd, export_bdd, import_bdd
+from ..datalog.ast import Fact, Program
+from ..datalog.engine import Delta
+from .errors import NetworkError, SimulationError
+from .message import Message
+from .network import OutboundMessage
+from .stats import aggregate_engine_stats, aggregate_query_stats, merge_counter_dicts
+from .topology import Topology, partition_lookahead, partition_topology
+
+__all__ = [
+    "ShardedExspanNetwork",
+    "ScriptOp",
+    "apply_script_serial",
+    "collect_summary",
+    "collect_digest",
+]
+
+#: Matches ``Network``'s default latency: the fallback charged when no route
+#: exists.  When churn disconnects the topology, the lookahead window must
+#: shrink to it, because a cross-shard message may then travel that fast.
+_DEFAULT_LATENCY = 0.001
+
+
+# ---------------------------------------------------------------------- #
+# scripted external inputs
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScriptOp:
+    """One external input applied at a simulated instant.
+
+    ``kind`` is one of ``"insert"`` / ``"delete"`` (base facts; applied at
+    the owning shard), ``"add_link"`` / ``"remove_link"`` (applied at every
+    shard — all topology replicas must agree for routing), or ``"query"``
+    (a provenance query issued at ``issuer`` for the fact's VID at
+    ``target``; the spec must be registered at construction time).
+    """
+
+    kind: str
+    fact: Optional[Fact] = None
+    a: Any = None
+    b: Any = None
+    cost: Optional[int] = None
+    spec: Optional[str] = None
+    issuer: Any = None
+    target: Any = None
+    query_id: Optional[str] = None
+
+
+# ---------------------------------------------------------------------- #
+# payload transport across shard boundaries
+# ---------------------------------------------------------------------- #
+class _WireBdd:
+    """A BDD annotation in transit: its manager-independent structure."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Tuple[Any, ...]):
+        self.data = data
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Bdd):
+        return _WireBdd(export_bdd(value))
+    if isinstance(value, Delta):
+        if isinstance(value.annotation, Bdd):
+            return Delta(value.action, value.fact, _WireBdd(export_bdd(value.annotation)))
+        return value
+    if isinstance(value, tuple):
+        encoded = [_encode_value(item) for item in value]
+        if all(new is old for new, old in zip(encoded, value)):
+            return value
+        return tuple(encoded)
+    return value
+
+
+def _decode_value(value: Any, manager_for: Callable[[], Any]) -> Any:
+    if isinstance(value, _WireBdd):
+        manager = manager_for()
+        if manager is None:
+            raise NetworkError(
+                "a BDD crossed a shard boundary outside a value-mode delta; "
+                "sharded runs support query specs with plain or polynomial "
+                "results (register a polynomial/count/node-set spec instead)"
+            )
+        return import_bdd(manager, value.data)
+    if isinstance(value, Delta):
+        if isinstance(value.annotation, _WireBdd):
+            return Delta(
+                value.action, value.fact, _decode_value(value.annotation, manager_for)
+            )
+        return value
+    if isinstance(value, tuple):
+        decoded = [_decode_value(item, manager_for) for item in value]
+        if all(new is old for new, old in zip(decoded, value)):
+            return value
+        return tuple(decoded)
+    return value
+
+
+def _encode_outbound(
+    outbound: Sequence[OutboundMessage],
+) -> List[Tuple[float, Tuple, Dict[str, Any]]]:
+    """Flatten parked cross-shard messages into picklable wire tuples."""
+    wire = []
+    for item in outbound:
+        message = item.message
+        wire.append(
+            (
+                item.time,
+                item.key,
+                {
+                    "source": message.source,
+                    "destination": message.destination,
+                    "kind": message.kind,
+                    "payload": _encode_value(message.payload),
+                    "size": message.size,
+                    "sent_at": message.sent_at,
+                    "delivered_at": message.delivered_at,
+                    "batch": message.batch,
+                },
+            )
+        )
+    return wire
+
+
+# ---------------------------------------------------------------------- #
+# state digests (shared by serial and sharded paths)
+# ---------------------------------------------------------------------- #
+def _canonical_annotation(annotation: Any) -> Any:
+    if isinstance(annotation, Bdd):
+        return ("bdd", export_bdd(annotation))
+    return repr(annotation)
+
+
+def node_state_digest(engine) -> Dict[str, Any]:
+    """Canonical per-node state: table rows, annotations, counters.
+
+    Everything is rendered order-independently (sorted by repr), so the
+    digest of a node is identical whether it was computed in a serial run
+    or inside a shard worker — the equivalence the sharding tests assert.
+    """
+    tables = {
+        table.name: sorted(repr(row) for row in table.rows())
+        for table in engine.catalog.tables()
+        if len(table)
+    }
+    annotations = {
+        repr(key): _canonical_annotation(annotation)
+        for key, annotation in engine._annotations.items()
+    }
+    return {
+        "tables": tables,
+        "annotations": dict(sorted(annotations.items())),
+        "stats": dict(sorted(engine.stats.items())),
+    }
+
+
+def collect_digest(net) -> Dict[Any, Dict[str, Any]]:
+    """Per-node state digests of a (serial) :class:`ExspanNetwork`."""
+    return {address: node_state_digest(node.engine) for address, node in net.nodes.items()}
+
+
+def collect_summary(net) -> Dict[str, Any]:
+    """Network-wide counters of a (serial) :class:`ExspanNetwork`.
+
+    The sharded engine's :meth:`ShardedExspanNetwork.summary` produces the
+    same dict by merging per-shard summaries; equality of the two is the
+    headline acceptance criterion.
+    """
+    hosts = {
+        host.address: {
+            "messages_received": host.messages_received,
+            "bytes_received": host.bytes_received,
+            "batches_sent": host.batches_sent,
+            "messages_batched": host.messages_batched,
+        }
+        for host in net.network.hosts()
+    }
+    return {
+        "fixpoint_time": net.simulator.now,
+        "traffic": {
+            "total_bytes": net.stats.total_bytes(),
+            "total_messages": net.stats.total_messages(),
+            "maintenance_bytes": net.maintenance_bytes(),
+            "query_bytes": net.query_bytes(),
+        },
+        "planner": net.planner_stats(),
+        "prov_rows": net.provenance_row_counts(),
+        "query_stats": aggregate_query_stats(
+            node.query_service.query_stats() for node in net.nodes.values()
+        ),
+        "hosts": dict(sorted(hosts.items(), key=lambda item: repr(item[0]))),
+    }
+
+
+def _outcome_digest(outcome) -> Dict[str, Any]:
+    """Picklable, representation-canonical view of a QueryOutcome."""
+    return {
+        "query_id": outcome.query_id,
+        "vid": outcome.vid,
+        "result": repr(outcome.result),
+        "issued_at": outcome.issued_at,
+        "completed_at": outcome.completed_at,
+        "issuer": outcome.issuer,
+        "target": outcome.target,
+    }
+
+
+def apply_script_serial(
+    net, script: Sequence[Tuple[float, Sequence[ScriptOp]]]
+) -> Dict[str, Dict[str, Any]]:
+    """Drive a serial :class:`ExspanNetwork` with a sharded-engine script.
+
+    Ops are scheduled at their instants with the default (empty) ordering
+    key, exactly where the sharded engine applies them — before the message
+    deliveries of the same instant.  Returns query outcomes (digested) by
+    query id after running to quiescence.
+    """
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    issued: Dict[Any, int] = {}
+
+    def apply(ops: Sequence[ScriptOp]) -> None:
+        for op in ops:
+            _apply_serial_op(net, op, outcomes, issued)
+
+    for time, ops in script:
+        net.simulator.schedule_at(time, lambda ops=ops: apply(ops))
+    net.simulator.run_until_idle()
+    return outcomes
+
+
+def _apply_serial_op(
+    net,
+    op: ScriptOp,
+    outcomes: Dict[str, Dict[str, Any]],
+    issued: Dict[Any, int],
+) -> None:
+    if op.kind == "insert":
+        net.insert_fact(op.fact)
+    elif op.kind == "delete":
+        net.delete_fact(op.fact)
+    elif op.kind == "add_link":
+        net.add_link(op.a, op.b, op.cost)
+    elif op.kind == "remove_link":
+        net.remove_link(op.a, op.b)
+    elif op.kind == "query":
+        from ..core.vid import fact_vid
+
+        target = op.target if op.target is not None else op.fact.location
+        issuer = op.issuer if op.issuer is not None else target
+        if op.query_id is not None:
+            query_id = op.query_id
+        else:
+            # Auto ids number each issuer's queries independently at issue
+            # time (never by completed count, which would collide for
+            # concurrent queries) — and since one issuer's queries always
+            # run at its own shard in issue order, the numbering is
+            # identical in serial and sharded execution.
+            index = issued.get(issuer, 0)
+            issued[issuer] = index + 1
+            query_id = f"q@{issuer!r}#{index}"
+        service = net.node(issuer).query_service
+        service.query(
+            fact_vid(op.fact),
+            target,
+            op.spec,
+            lambda outcome, qid=query_id: outcomes.__setitem__(
+                qid, _outcome_digest(outcome)
+            ),
+        )
+    else:
+        raise ValueError(f"unknown script op kind {op.kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# worker process
+# ---------------------------------------------------------------------- #
+@dataclass
+class _WorkerConfig:
+    shard_id: int
+    assignment: Dict[Any, int]
+    topology: Topology
+    program: Program
+    mode: Any
+    seed: int
+    link_cost: int
+    value_policy: str
+    planner: Optional[str]
+    pipeline: Optional[str]
+    compact_min_cancelled: Optional[int]
+    compact_ratio: Optional[float]
+    query_specs: Sequence[Any] = field(default_factory=tuple)
+
+
+def _worker_main(conn, config: _WorkerConfig) -> None:
+    """Run one shard: build the local slice, then serve barrier commands."""
+    try:
+        from ..core.api import ExspanNetwork
+
+        local = [
+            node
+            for node in config.topology.nodes
+            if config.assignment[node] == config.shard_id
+        ]
+        net = ExspanNetwork(
+            config.topology,
+            config.program,
+            mode=config.mode,
+            seed=config.seed,
+            link_cost=config.link_cost,
+            value_policy=config.value_policy,
+            planner=config.planner,
+            pipeline=config.pipeline,
+            local_addresses=local,
+            shard_map=config.assignment,
+            compact_min_cancelled=config.compact_min_cancelled,
+            compact_ratio=config.compact_ratio,
+        )
+        for spec in config.query_specs:
+            net.register_query_spec(spec)
+        outcomes: Dict[str, Dict[str, Any]] = {}
+        issued: Dict[Any, int] = {}
+
+        def manager_for_destination(address: Any):
+            policy = net.node(address).engine.annotation_policy
+            return getattr(policy, "manager", None)
+
+        while True:
+            command = conn.recv()
+            verb = command[0]
+            if verb == "stop":
+                conn.send(("ok", None))
+                return
+            if verb == "seed":
+                inserted = net.seed_links(command[1])
+                conn.send(("ok", _worker_window_reply(net, inserted)))
+            elif verb == "window":
+                _, horizon, envelopes = command
+                _inject_envelopes(net, envelopes, manager_for_destination)
+                if horizon is None:
+                    executed = net.simulator.run_until_idle()
+                else:
+                    executed = net.simulator.run_window(horizon)
+                conn.send(("ok", _worker_window_reply(net, executed)))
+            elif verb == "apply":
+                _, time, ops = command
+                if time > net.simulator.now:
+                    net.simulator.advance_to(time)
+                # The parent only applies ops at global barriers (full
+                # quiescence, or a script-limit every window was capped
+                # at), so re-opening the window back to the op instant is
+                # sound — see Simulator.reopen_window.
+                net.simulator.reopen_window(time)
+                for op in ops:
+                    _apply_worker_op(net, op, outcomes, issued)
+                conn.send(("ok", _worker_window_reply(net, len(ops))))
+            elif verb == "summary":
+                conn.send(("ok", _worker_summary(net)))
+            elif verb == "digest":
+                conn.send(("ok", collect_digest(net)))
+            elif verb == "outcomes":
+                conn.send(("ok", dict(outcomes)))
+            elif verb == "records":
+                conn.send(("ok", net.stats))
+            else:
+                conn.send(("error", f"unknown command {verb!r}"))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+
+
+def _worker_window_reply(net, executed: int):
+    return (
+        _encode_outbound(net.network.drain_outbound()),
+        net.simulator.next_event_time(),
+        net.simulator.now,
+        executed,
+    )
+
+
+def _inject_envelopes(net, envelopes, manager_for_destination) -> None:
+    # Deterministic injection order: (delivery time, ordering key).  The
+    # simulator orders by (time, key) anyway; sorting here additionally
+    # fixes the FIFO sequence numbers, removing any dependence on the order
+    # shards were drained in.
+    for time, key, fields in sorted(envelopes, key=lambda item: (item[0], item[1])):
+        destination = fields["destination"]
+        message = Message(
+            source=fields["source"],
+            destination=destination,
+            kind=fields["kind"],
+            payload=_decode_value(
+                fields["payload"], lambda d=destination: manager_for_destination(d)
+            ),
+            size=fields["size"],
+            sent_at=fields["sent_at"],
+            delivered_at=fields["delivered_at"],
+            batch=fields["batch"],
+        )
+        net.network.inject(message, time, key)
+
+
+def _apply_worker_op(
+    net, op: ScriptOp, outcomes: Dict[str, Dict[str, Any]], issued: Dict[Any, int]
+) -> None:
+    # Fact ops were already routed to the owning shard by the parent; link
+    # ops go to every shard; query ops to the issuer's shard.  All reuse
+    # the serial op application (per-issuer query numbering included, so
+    # auto query ids match the serial engine's).
+    _apply_serial_op(net, op, outcomes, issued)
+
+
+def _worker_summary(net) -> Dict[str, Any]:
+    return collect_summary(net)
+
+
+# ---------------------------------------------------------------------- #
+# the parent-side driver
+# ---------------------------------------------------------------------- #
+class ShardedExspanNetwork:
+    """Drive one simulation across N shard worker processes.
+
+    The public surface mirrors the pieces of
+    :class:`~repro.core.api.ExspanNetwork` the experiment harness uses:
+    :meth:`seed_links`, :meth:`run_to_fixpoint`, scripted churn / fact ops
+    / provenance queries, and merged statistics.  ``shards=1`` is valid
+    (one worker) and useful for isolating the barrier protocol from
+    parallelism when debugging.
+
+    Use as a context manager, or call :meth:`close` — worker processes
+    hold OS resources.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        program: Program,
+        mode=None,
+        shards: int = 2,
+        seed: int = 0,
+        link_cost: int = 1,
+        value_policy: str = "bdd",
+        planner: Optional[str] = None,
+        pipeline: Optional[str] = None,
+        compact_min_cancelled: Optional[int] = None,
+        compact_ratio: Optional[float] = None,
+        partition: Optional[Mapping[Any, int]] = None,
+        query_specs: Sequence[Any] = (),
+    ):
+        from ..core.modes import ProvenanceMode
+
+        if mode is None:
+            mode = ProvenanceMode.REFERENCE
+        self.topology = topology
+        self.assignment: Dict[Any, int] = (
+            dict(partition)
+            if partition is not None
+            else partition_topology(topology, shards)
+        )
+        self.shards = max(self.assignment.values()) + 1
+        missing = [node for node in topology.nodes if node not in self.assignment]
+        if missing:
+            raise NetworkError(f"partition misses nodes: {missing[:5]}")
+        self._recompute_lookahead()
+        self._context = mp.get_context("fork")
+        self._connections = []
+        self._processes = []
+        self._parked: List[List[Tuple[float, Tuple, Dict[str, Any]]]] = [
+            [] for _ in range(self.shards)
+        ]
+        self._next_times: List[Optional[float]] = [None] * self.shards
+        self._now = 0.0
+        self._closed = False
+        #: Per-window executed-event counts (one list per window round),
+        #: the raw material of :meth:`parallelism_report`.
+        self.window_loads: List[List[int]] = []
+        for shard in range(self.shards):
+            parent_conn, child_conn = self._context.Pipe()
+            config = _WorkerConfig(
+                shard_id=shard,
+                assignment=self.assignment,
+                topology=topology,
+                program=program,
+                mode=mode,
+                seed=seed,
+                link_cost=link_cost,
+                value_policy=value_policy,
+                planner=planner,
+                pipeline=pipeline,
+                compact_min_cancelled=compact_min_cancelled,
+                compact_ratio=compact_ratio,
+                query_specs=tuple(query_specs),
+            )
+            process = self._context.Process(
+                target=_worker_main, args=(child_conn, config), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ShardedExspanNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for conn in self._connections:
+            try:
+                if conn.poll(2.0):
+                    conn.recv()
+            except (OSError, EOFError):
+                pass
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    # worker communication
+    # ------------------------------------------------------------------ #
+    def _command_all(self, commands: List[Tuple]) -> List[Any]:
+        """Send one command per shard, then gather replies (concurrent)."""
+        for conn, command in zip(self._connections, commands):
+            conn.send(command)
+        replies = []
+        for shard, conn in enumerate(self._connections):
+            status, payload = conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"shard {shard} failed:\n{payload}")
+            replies.append(payload)
+        return replies
+
+    def _absorb_window_replies(self, replies: List[Any]) -> None:
+        for reply in replies:
+            envelopes, next_time, now, _executed = reply
+            self._now = max(self._now, now)
+            for envelope in envelopes:
+                destination = envelope[2]["destination"]
+                self._parked[self.assignment[destination]].append(envelope)
+        for shard, reply in enumerate(replies):
+            self._next_times[shard] = reply[1]
+
+    def _take_parked(self) -> List[List[Tuple[float, Tuple, Dict[str, Any]]]]:
+        parked, self._parked = self._parked, [[] for _ in range(self.shards)]
+        return parked
+
+    def _recompute_lookahead(self) -> None:
+        lookahead = partition_lookahead(self.topology, self.assignment)
+        if lookahead is not None and lookahead <= 0:
+            raise NetworkError(
+                "a zero-latency link crosses the shard cut; the "
+                "conservative engine needs strictly positive cross-shard "
+                "latency (repartition or merge those nodes into one shard)"
+            )
+        if self.shards > 1 and not self.topology.is_connected():
+            # A message between disconnected nodes is charged the network's
+            # default (no-route) latency, which may undercut every cut edge
+            # — and cross-shard traffic remains possible even with *no* cut
+            # edges at all (disconnected islands in different shards can
+            # still message each other).  Shrink the window accordingly;
+            # without this, a free-running shard could receive an envelope
+            # in its past and trip the safe-time assertion.
+            lookahead = (
+                min(lookahead, _DEFAULT_LATENCY)
+                if lookahead is not None
+                else _DEFAULT_LATENCY
+            )
+        self.lookahead = lookahead
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def seed_links(self, cost: Optional[int] = None) -> int:
+        replies = self._command_all([("seed", cost)] * self.shards)
+        inserted = sum(reply[3] for reply in replies)
+        self._absorb_window_replies(
+            [(reply[0], reply[1], reply[2], 0) for reply in replies]
+        )
+        return inserted
+
+    def _quiesce(self, limit: Optional[float] = None) -> None:
+        """Run windows until global quiescence (or until *limit*, exclusive)."""
+        while True:
+            candidates = [time for time in self._next_times if time is not None]
+            candidates.extend(
+                envelope[0] for parked in self._parked for envelope in parked
+            )
+            if not candidates:
+                break
+            start = min(candidates)
+            if limit is not None and start >= limit:
+                break
+            if self.lookahead is None:
+                horizon = limit  # None = run each shard to local idle
+            elif limit is not None:
+                horizon = min(start + self.lookahead, limit)
+            else:
+                horizon = start + self.lookahead
+            parked = self._take_parked()
+            replies = self._command_all(
+                [("window", horizon, parked[shard]) for shard in range(self.shards)]
+            )
+            self.window_loads.append([reply[3] for reply in replies])
+            self._absorb_window_replies(replies)
+        if limit is not None and any(self._parked):
+            # Envelopes at or past the limit: hand them over with the limit
+            # itself as the horizon.  Everything left lives at or past the
+            # limit, so nothing executes — the envelopes are scheduled, the
+            # workers' safe time lands exactly on the barrier, and the
+            # script ops applied *at* the limit may still send messages
+            # timed at or after it.
+            parked = self._take_parked()
+            replies = self._command_all(
+                [("window", limit, parked[shard]) for shard in range(self.shards)]
+            )
+            self._absorb_window_replies(replies)
+
+    def run_to_fixpoint(self) -> float:
+        """Run windows until no shard has pending events or envelopes."""
+        self._quiesce()
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # scripted inputs
+    # ------------------------------------------------------------------ #
+    def run_script(self, script: Sequence[Tuple[float, Sequence[ScriptOp]]]) -> None:
+        """Apply timed op batches, interleaved with windowed execution.
+
+        Each script instant becomes a barrier: all events strictly before
+        it execute first, every shard's clock aligns to it, the ops apply
+        (facts at their owning shard, link changes everywhere), and
+        execution resumes.  Identical semantics to
+        :func:`apply_script_serial` scheduling the same ops on a serial
+        network.
+        """
+        for time, ops in sorted(script, key=lambda item: item[0]):
+            self._quiesce(limit=time)
+            self._now = max(self._now, time)
+            self._apply_ops(time, list(ops))
+        self._quiesce()
+
+    def apply_ops(self, ops: Sequence[ScriptOp]) -> None:
+        """Apply ops at the current global time (after quiescence)."""
+        self._quiesce()
+        self._apply_ops(self._now, list(ops))
+        self._quiesce()
+
+    def _apply_ops(self, time: float, ops: List[ScriptOp]) -> None:
+        per_shard: List[List[ScriptOp]] = [[] for _ in range(self.shards)]
+        topology_changed = False
+        for op in ops:
+            if op.kind in ("insert", "delete"):
+                per_shard[self.assignment[op.fact.location]].append(op)
+            elif op.kind in ("add_link", "remove_link"):
+                # Keep the parent's topology replica in sync for lookahead
+                # recomputation, then apply at every shard.
+                if op.kind == "add_link":
+                    if not self.topology.has_link(op.a, op.b):
+                        from .topology import LinkSpec
+
+                        cost = op.cost if op.cost is not None else 1
+                        self.topology.add_link(op.a, op.b, LinkSpec(cost=cost))
+                else:
+                    self.topology.remove_link(op.a, op.b)
+                topology_changed = True
+                for shard_ops in per_shard:
+                    shard_ops.append(op)
+            elif op.kind == "query":
+                issuer = op.issuer if op.issuer is not None else (
+                    op.target if op.target is not None else op.fact.location
+                )
+                per_shard[self.assignment[issuer]].append(op)
+            else:
+                raise ValueError(f"unknown script op kind {op.kind!r}")
+        replies = self._command_all(
+            [("apply", time, per_shard[shard]) for shard in range(self.shards)]
+        )
+        self._absorb_window_replies(replies)
+        if topology_changed:
+            self._recompute_lookahead()
+
+    # ------------------------------------------------------------------ #
+    # provenance queries
+    # ------------------------------------------------------------------ #
+    def query_provenance(
+        self, fact: Fact, spec: str, issuer: Any = None, target: Any = None
+    ) -> Dict[str, Any]:
+        """Issue one provenance query, run to quiescence, return its digest.
+
+        ``spec`` names a query spec passed at construction
+        (``query_specs=[...]``); results are returned in digested form
+        (see the sharding module docstring for why raw result objects
+        cannot cross process boundaries in general).
+        """
+        self._query_counter = getattr(self, "_query_counter", 0) + 1
+        query_id = f"shq-{self._query_counter}"
+        self.apply_ops(
+            [
+                ScriptOp(
+                    kind="query",
+                    fact=fact,
+                    spec=spec,
+                    issuer=issuer,
+                    target=target,
+                    query_id=query_id,
+                )
+            ]
+        )
+        outcome = self.outcomes().get(query_id)
+        if outcome is None:
+            raise SimulationError(f"provenance query for {fact} did not complete")
+        return outcome
+
+    def outcomes(self) -> Dict[str, Dict[str, Any]]:
+        """All completed query outcomes (digested), merged across shards."""
+        merged: Dict[str, Dict[str, Any]] = {}
+        for reply in self._command_all([("outcomes",)] * self.shards):
+            merged.update(reply)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # merged statistics and digests
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, Any]:
+        """Network-wide counters, byte-comparable to :func:`collect_summary`."""
+        replies = self._command_all([("summary",)] * self.shards)
+        hosts: Dict[Any, Dict[str, int]] = {}
+        for reply in replies:
+            hosts.update(reply["hosts"])
+        return {
+            "fixpoint_time": max(reply["fixpoint_time"] for reply in replies),
+            "traffic": merge_counter_dicts(reply["traffic"] for reply in replies),
+            "planner": aggregate_engine_stats(reply["planner"] for reply in replies),
+            "prov_rows": merge_counter_dicts(reply["prov_rows"] for reply in replies),
+            "query_stats": aggregate_query_stats(
+                reply["query_stats"] for reply in replies
+            ),
+            "hosts": dict(sorted(hosts.items(), key=lambda item: repr(item[0]))),
+        }
+
+    def digest(self) -> Dict[Any, Dict[str, Any]]:
+        """Per-node state digests, byte-comparable to :func:`collect_digest`."""
+        merged: Dict[Any, Dict[str, Any]] = {}
+        for reply in self._command_all([("digest",)] * self.shards):
+            merged.update(reply)
+        # Deterministic address order (topology order), matching the serial
+        # collector's iteration over net.nodes.
+        return {node: merged[node] for node in self.topology.nodes if node in merged}
+
+    def parallelism_report(self) -> Dict[str, Any]:
+        """Machine-independent parallelism accounting of the run so far.
+
+        A conservative window is a barrier: its wall-clock is governed by
+        its most-loaded shard.  The *critical path* is therefore the sum of
+        per-window maximum event counts, and ``attainable_speedup`` —
+        total events over critical-path events — is the wall-clock speedup
+        this run's schedule admits on enough cores.  Unlike wall-clock it
+        is fully deterministic, so benchmarks can gate on it (CI timing
+        assertions are banned; this is the honest substitute).
+        """
+        total = sum(sum(loads) for loads in self.window_loads)
+        critical = sum(max(loads) for loads in self.window_loads if loads)
+        return {
+            "windows": len(self.window_loads),
+            "events_total": total,
+            "events_critical_path": critical,
+            "attainable_speedup": (total / critical) if critical else 1.0,
+        }
+
+    def records(self) -> List[Any]:
+        """All traffic records merged in deterministic (time, source) order."""
+        return self.traffic_stats().records()
+
+    def traffic_stats(self):
+        """A merged :class:`~repro.net.stats.TrafficStats` over every shard.
+
+        Senders are always local to their shard, so folding the workers'
+        own collectors yields exactly the serial engine's records; every
+        aggregate view (totals, bandwidth timeseries, per-sender byte
+        counts) matches the serial network's ``stats``.
+        """
+        from .stats import merge_traffic_stats
+
+        rank = {node: index for index, node in enumerate(self.topology.nodes)}
+        per_shard = self._command_all([("records",)] * self.shards)
+        return merge_traffic_stats(per_shard, rank)

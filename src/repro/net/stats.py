@@ -23,6 +23,9 @@ __all__ = [
     "QUERY_COUNTER_KEYS",
     "aggregate_engine_stats",
     "aggregate_query_stats",
+    "merge_counter_dicts",
+    "merge_traffic_records",
+    "merge_traffic_stats",
     "render_engine_stats",
 ]
 
@@ -225,6 +228,60 @@ def aggregate_query_stats(stats_maps: Iterable[Dict[str, int]]) -> Dict[str, int
         for key, value in stats.items():
             totals[key] = totals.get(key, 0) + value
     return totals
+
+
+def merge_counter_dicts(dicts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum same-keyed numeric counter dicts (cross-shard counter merge).
+
+    Keys are emitted in sorted order so the merged dict is independent of
+    shard iteration order (and of ``PYTHONHASHSEED``).
+    """
+    totals: Dict[str, Any] = {}
+    for counters in dicts:
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+    return dict(sorted(totals.items()))
+
+
+def merge_traffic_records(
+    record_lists: Iterable[Sequence[MessageRecord]],
+    source_rank: Dict[Any, int],
+) -> List[MessageRecord]:
+    """Merge per-shard traffic records into one deterministic list.
+
+    Each shard records exactly the messages its own hosts *sent* (senders
+    are always local), so the union is exact.  Records are ordered by
+    ``(time, source rank, per-source position)`` — per-source order is
+    preserved from each shard's list, and the result is independent of
+    shard count and drain order.  Every aggregate view
+    (:class:`TrafficStats` totals, bandwidth timeseries, CDFs) is
+    order-insensitive, so any consumer of the merged list sees exactly the
+    serial engine's numbers.
+    """
+    indexed: List[Tuple[float, int, int, MessageRecord]] = []
+    positions: Dict[Any, int] = {}
+    for records in record_lists:
+        for record in records:
+            position = positions.get(record.source, 0)
+            positions[record.source] = position + 1
+            indexed.append(
+                (record.time, source_rank.get(record.source, -1), position, record)
+            )
+    indexed.sort(key=lambda item: item[:3])
+    return [item[3] for item in indexed]
+
+
+def merge_traffic_stats(
+    stats_list: Iterable["TrafficStats"],
+    source_rank: Dict[Any, int],
+) -> "TrafficStats":
+    """Fold per-shard :class:`TrafficStats` into one merged collector."""
+    merged = TrafficStats()
+    for record in merge_traffic_records(
+        [stats.records() for stats in stats_list], source_rank
+    ):
+        merged.record(record.time, record.source, record.destination, record.size, record.kind)
+    return merged
 
 
 def render_engine_stats(totals: Dict[str, int]) -> str:

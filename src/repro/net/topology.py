@@ -31,6 +31,10 @@ __all__ = [
     "ring_topology",
     "line_topology",
     "grid_topology",
+    "cluster_topology",
+    "partition_topology",
+    "partition_cut_edges",
+    "partition_lookahead",
     "TIER_TRANSIT",
     "TIER_TRANSIT_STUB",
     "TIER_STUB",
@@ -372,6 +376,221 @@ def grid_topology(rows: int, columns: int, link_cost: int = 1, latency: float = 
             if row + 1 < rows:
                 topology.add_link(node, f"g{row + 1}_{column}", spec)
     return topology
+
+
+def cluster_topology(
+    clusters: int,
+    nodes_per_cluster: int,
+    seed: int = 0,
+    link_cost: int = 1,
+    intra_latency: float = 0.002,
+    inter_latency: float = 0.050,
+    chords_per_cluster: Optional[int] = None,
+) -> Topology:
+    """Generate a large clustered topology for the scale scenarios.
+
+    ``clusters`` dense rings of ``nodes_per_cluster`` nodes (ring plus a few
+    random chords each) are joined into a ring of clusters through gateway
+    nodes, with one long chord across the cluster ring for shortcut routes.
+    Intra-cluster links are fast (``intra_latency``); inter-cluster links are
+    slow (``inter_latency``, transit tier).  The structure mirrors how
+    Internet-scale deployments cluster by data center / AS — and it is what
+    makes paper-scale topologies shardable: a partitioner that cuts only the
+    sparse high-latency inter-cluster links gives the sharded engine a large
+    conservative lookahead window (the window is the minimum cut-edge
+    latency) with little cross-shard traffic.
+    """
+    if clusters < 1 or nodes_per_cluster < 1:
+        raise ValueError("clusters and nodes_per_cluster must be positive")
+    rng = random.Random(seed)
+    topology = Topology(name=f"cluster-{clusters}x{nodes_per_cluster}")
+    intra = LinkSpec(
+        latency=intra_latency,
+        bandwidth=_TIER_BANDWIDTH[TIER_STUB],
+        cost=link_cost,
+        tier=TIER_STUB,
+    )
+    inter = LinkSpec(
+        latency=inter_latency,
+        bandwidth=_TIER_BANDWIDTH[TIER_TRANSIT],
+        cost=link_cost,
+        tier=TIER_TRANSIT,
+    )
+    gateways: List[str] = []
+    for cluster in range(clusters):
+        members = [f"c{cluster}_{index}" for index in range(nodes_per_cluster)]
+        for index, node in enumerate(members):
+            topology.add_node(node, kind="transit" if index == 0 else "stub")
+        for index in range(len(members)):
+            a = members[index]
+            b = members[(index + 1) % len(members)]
+            if a != b and not topology.has_link(a, b):
+                topology.add_link(a, b, intra)
+        chords = (
+            chords_per_cluster
+            if chords_per_cluster is not None
+            else max(1, nodes_per_cluster // 8)
+        )
+        if nodes_per_cluster >= 4:
+            for _ in range(chords):
+                a, b = rng.sample(members, 2)
+                if not topology.has_link(a, b):
+                    topology.add_link(a, b, intra)
+        gateways.append(members[0])
+    for cluster in range(1, clusters):
+        topology.add_link(gateways[cluster - 1], gateways[cluster], inter)
+    if clusters > 2:
+        topology.add_link(gateways[-1], gateways[0], inter)
+    if clusters > 5:
+        topology.add_link(gateways[0], gateways[clusters // 2], inter)
+    return topology
+
+
+# ---------------------------------------------------------------------- #
+# sharding support: latency-aware balanced partitioning
+# ---------------------------------------------------------------------- #
+def partition_topology(
+    topology: Topology,
+    shards: int,
+    balance_tolerance: float = 0.25,
+    refinement_passes: int = 8,
+) -> Dict[Any, int]:
+    """Partition the nodes into *shards* balanced, latency-aware parts.
+
+    The goal is twofold: (1) balance — shard sizes differ by at most
+    ``balance_tolerance`` of the ideal size (never below 1 node of it), so
+    worker processes get comparable event load; (2) a *cheap cut* — the
+    edges crossing shards should be few and slow, because every cut edge
+    carries cross-shard envelopes and the **minimum cut-edge latency is the
+    conservative lookahead window** of the sharded engine (cutting a fast
+    link both shrinks the window and adds barrier traffic).
+
+    The algorithm is deterministic (no RNG, no hash-order dependence):
+    grow a Prim-style traversal that always absorbs the fastest link
+    leaving the visited set — so tightly coupled clusters are swallowed
+    whole before a slow inter-cluster link is crossed — chunk the visit
+    order into contiguous balanced blocks, then run bounded
+    Kernighan-Lin-style refinement passes moving boundary nodes when that
+    strictly lowers the cut cost (sum of ``1/latency`` over cut edges)
+    without violating balance.
+    """
+    nodes = topology.nodes
+    count = len(nodes)
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if shards == 1 or count <= 1:
+        return {node: 0 for node in nodes}
+    shards = min(shards, count)
+
+    order = _prim_order(topology, nodes)
+    assignment: Dict[Any, int] = {}
+    # Contiguous chunks of the traversal order, sizes differing by <= 1.
+    base, extra = divmod(count, shards)
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        for node in order[start : start + size]:
+            assignment[node] = shard
+        start += size
+
+    target = count / shards
+    low = max(1, int(target - max(1, balance_tolerance * target)))
+    high = max(low, int(target + max(1, balance_tolerance * target) + 0.5))
+    sizes = [0] * shards
+    for shard in assignment.values():
+        sizes[shard] += 1
+
+    def move_gain(node: Any, destination: int) -> float:
+        """Cut-cost reduction of moving *node* to *destination*."""
+        gain = 0.0
+        here = assignment[node]
+        for neighbor in topology.neighbors(node):
+            spec = topology.link(node, neighbor)
+            affinity = (1.0 / spec.latency) if spec.latency > 0 else float("inf")
+            other = assignment[neighbor]
+            if other == here:
+                gain -= affinity  # this edge becomes cut
+            elif other == destination:
+                gain += affinity  # this cut edge heals
+        return gain
+
+    for _ in range(max(0, refinement_passes)):
+        improved = False
+        for node in nodes:
+            here = assignment[node]
+            if sizes[here] <= low:
+                continue
+            # Candidate destinations: shards of the node's neighbors, in
+            # deterministic ascending shard order.
+            candidates = sorted(
+                {assignment[neighbor] for neighbor in topology.neighbors(node)}
+                - {here}
+            )
+            best, best_gain = None, 0.0
+            for destination in candidates:
+                if sizes[destination] >= high:
+                    continue
+                gain = move_gain(node, destination)
+                if gain > best_gain:
+                    best, best_gain = destination, gain
+            if best is not None:
+                assignment[node] = best
+                sizes[here] -= 1
+                sizes[best] += 1
+                improved = True
+        if not improved:
+            break
+    return assignment
+
+
+def _prim_order(topology: Topology, nodes: List[Any]) -> List[Any]:
+    """Visit order absorbing the lowest-latency frontier link first."""
+    index_of = {node: index for index, node in enumerate(nodes)}
+    visited: Set[Any] = set()
+    order: List[Any] = []
+    for root in nodes:
+        if root in visited:
+            continue
+        heap: List[Tuple[float, int, Any]] = [(0.0, index_of[root], root)]
+        while heap:
+            _, _, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            order.append(node)
+            for neighbor in topology.neighbors(node):
+                if neighbor not in visited:
+                    spec = topology.link(node, neighbor)
+                    heapq.heappush(
+                        heap, (spec.latency, index_of[neighbor], neighbor)
+                    )
+    return order
+
+
+def partition_cut_edges(
+    topology: Topology, assignment: Dict[Any, int]
+) -> List[Tuple[Any, Any, LinkSpec]]:
+    """The links whose endpoints live in different shards."""
+    return [
+        (a, b, spec)
+        for a, b, spec in topology.links()
+        if assignment.get(a) != assignment.get(b)
+    ]
+
+
+def partition_lookahead(
+    topology: Topology, assignment: Dict[Any, int]
+) -> Optional[float]:
+    """Conservative lookahead window: the minimum cut-edge latency.
+
+    Any path between nodes in different shards crosses the cut at least
+    once, so its end-to-end (shortest-path) latency is at least the
+    minimum latency among cut edges — a message sent at time *t* to
+    another shard can never arrive before ``t + lookahead``.  Returns
+    ``None`` when no edge crosses the cut (the shards never interact).
+    """
+    latencies = [spec.latency for _, _, spec in partition_cut_edges(topology, assignment)]
+    return min(latencies) if latencies else None
 
 
 def _spec(tier: str, cost: int) -> LinkSpec:

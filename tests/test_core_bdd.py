@@ -8,6 +8,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import BddManager
+from repro.core.bdd import Bdd, bdd_cache_stats, export_bdd, import_bdd
 from repro.core.semiring import product_of, sum_of, var
 
 
@@ -171,3 +172,67 @@ class TestBddProperties:
     def test_canonical_equality_of_reordered_dnf(self, dnf):
         manager = BddManager()
         assert manager.from_dnf(dnf) == manager.from_dnf(list(reversed(dnf)))
+
+
+class TestComputedTableAndTransport:
+    """PR 5 satellites: bounded computed table, walk caches, canonical order."""
+
+    def test_cache_stats_report_hits_and_misses(self):
+        manager = BddManager()
+        a, b = manager.var("aa"), manager.var("bb")
+        _ = a & b
+        first = manager.cache_stats()
+        assert first["apply_cache_misses"] >= 1
+        _ = a & b  # same computed-table key
+        second = manager.cache_stats()
+        assert second["apply_cache_hits"] > first["apply_cache_hits"]
+        assert bdd_cache_stats()["apply_cache_misses"] >= second["apply_cache_misses"]
+
+    def test_computed_table_is_bounded_and_flushes(self):
+        # The limit must comfortably hold one top-level apply's working set
+        # (a flush mid-recursion forfeits that call's memoization); what is
+        # bounded is the *cumulative* growth across many applies.
+        manager = BddManager(apply_cache_limit=64)
+        accumulator = manager.false()
+        for index in range(14):
+            # pair members adjacent in the (lexicographic) variable order,
+            # so the accumulated BDD stays linear-sized
+            accumulator = accumulator | (
+                manager.var(f"x{index:02d}a") & manager.var(f"x{index:02d}b")
+            )
+        stats = manager.cache_stats()
+        assert stats["apply_cache_flushes"] >= 1
+        assert stats["apply_cache_entries"] <= 64
+        # flushing is pure memoization policy: results stay canonical
+        rebuilt = BddManager().from_dnf(accumulator.satisfying_products())
+        assert rebuilt.node_count() == accumulator.node_count()
+
+    def test_node_count_and_wire_size_cached_per_node_id(self):
+        manager = BddManager()
+        bdd = manager.from_dnf([["aa", "bb"], ["cc"]])
+        count, size = bdd.node_count(), bdd.wire_size()
+        assert manager.cache_stats()["node_count_cached"] >= 1
+        # a fresh handle to the same node reuses the cached walk results
+        handle = Bdd(manager, bdd.node_id)
+        assert handle.node_count() == count
+        assert handle.wire_size() == size
+
+    def test_variable_order_is_name_canonical_across_managers(self):
+        left = BddManager()
+        one = (left.var("zz") & left.var("aa")) | left.var("mm")
+        right = BddManager()
+        other = right.var("mm") | (right.var("aa") & right.var("zz"))
+        assert one.node_count() == other.node_count()
+        assert one.wire_size() == other.wire_size()
+        assert export_bdd(one) == export_bdd(other)
+
+    def test_export_import_round_trip(self):
+        source = BddManager()
+        bdd = source.from_dnf([["aa", "bb"], ["bb", "cc"], ["dd"]])
+        destination = BddManager()
+        imported = import_bdd(destination, export_bdd(bdd))
+        assert imported.node_count() == bdd.node_count()
+        assert imported.wire_size() == bdd.wire_size()
+        assert imported.satisfying_products() == bdd.satisfying_products()
+        # importing into the source manager resolves to the very same node
+        assert import_bdd(source, export_bdd(bdd)) == bdd
