@@ -37,6 +37,7 @@ from ..net.message import HEADER_OVERHEAD, Message, payload_size
 from ..net.network import Network
 from ..net.simulator import Simulator
 from ..net.topology import LinkSpec, Topology
+from ..obs import runtime as obs_runtime
 from .errors import ProvenanceError, QueryTimeoutError
 from .modes import PreparedProgram, ProvenanceMode, prepare_program
 from .provenance_graph import ProvenanceGraph, build_global_graph
@@ -81,13 +82,24 @@ class ExspanNetwork:
         shard_map: Optional[Dict[Any, int]] = None,
         compact_min_cancelled: Optional[int] = None,
         compact_ratio: Optional[float] = None,
+        tracer: Any = None,
+        traffic_record_cap: Optional[int] = None,
     ):
         """``local_addresses``/``shard_map`` configure this instance as one
         shard of a larger simulation (see :mod:`repro.net.sharding`): hosts
         and engines exist only for the local addresses, and messages for
         remote nodes are parked on ``network.outbound`` for the barrier
         protocol.  ``compact_min_cancelled``/``compact_ratio`` tune the
-        simulator's heap compaction for huge sharded runs."""
+        simulator's heap compaction for huge sharded runs.
+
+        ``tracer`` installs an observability tracer across the simulator,
+        every engine and every query service; when ``None`` and a
+        process-wide trace session is active (see
+        :func:`repro.obs.runtime.enable_tracing`) one is registered
+        automatically.  Tracing never perturbs results: fixpoints, VIDs,
+        counters and traffic bytes are identical with it on or off.
+        ``traffic_record_cap`` enables the bounded traffic-statistics mode
+        (exact aggregates, capped raw message history)."""
         self.topology = topology
         self.mode = mode
         self.link_cost = link_cost
@@ -109,8 +121,17 @@ class ExspanNetwork:
             shard_map=shard_map,
             compact_min_cancelled=compact_min_cancelled,
             compact_ratio=compact_ratio,
+            traffic_record_cap=traffic_record_cap,
         )
         self.simulator: Simulator = self.network.simulator
+        if tracer is None:
+            session = obs_runtime.active_session()
+            if session is not None:
+                tracer = session.new_tracer()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.set_clock(lambda: self.simulator.now)
+            self.simulator.tracer = tracer
         self.nodes: Dict[Any, ExspanNode] = {}
         members = topology.nodes if local_addresses is None else list(local_addresses)
         for address in members:
@@ -133,6 +154,8 @@ class ExspanNetwork:
         )
         engine.set_send(self._make_sender(host, engine))
         engine.load_program(self.prepared.program)
+        if self.tracer is not None:
+            engine.set_tracer(self.tracer)
         store = ProvenanceStore(engine)
         query_service = ProvenanceQueryService(
             host,
@@ -141,6 +164,7 @@ class ExspanNetwork:
             cache_capacity=self.query_cache_capacity,
             coalesce=self.query_coalescing,
             batch=self.query_batching,
+            tracer=self.tracer,
         )
         engine.add_update_listener(
             lambda action, fact, service=query_service: service.on_tuple_update(fact)
@@ -276,7 +300,13 @@ class ExspanNetwork:
     # ------------------------------------------------------------------ #
     def run_to_fixpoint(self, max_events: Optional[int] = None) -> float:
         """Run the simulation until quiescence; returns the fixpoint time."""
-        self.network.run_to_fixpoint(max_events=max_events)
+        tracer = self.tracer
+        if tracer is None:
+            self.network.run_to_fixpoint(max_events=max_events)
+        else:
+            with tracer.span("net.fixpoint", cat="net") as span:
+                self.network.run_to_fixpoint(max_events=max_events)
+                span.add(events=self.simulator.events_executed)
         return self.simulator.now
 
     def run_for(self, duration: float) -> None:
@@ -414,3 +444,25 @@ class ExspanNetwork:
     def query_messages(self) -> int:
         """Messages spent answering provenance queries."""
         return self.network.stats.total_messages(kinds=["prov"])
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One canonical metrics snapshot covering every counter family.
+
+        Folds the engine/planner counters, the query-engine counters and
+        the per-kind traffic totals into a
+        :class:`~repro.obs.metrics.MetricsRegistry` snapshot — the unified
+        view the observability layer exposes on top of the legacy
+        ``planner_stats()`` / ``query_service_stats()`` dicts (which remain
+        available unchanged).
+        """
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.absorb_counters(self.planner_stats(), prefix="engine.")
+        registry.absorb_counters(self.query_service_stats(), prefix="query.")
+        for kind, (messages, size) in sorted(self.stats.kind_totals().items()):
+            registry.inc("net.messages", messages, kind=kind)
+            registry.inc("net.bytes", size, kind=kind)
+        registry.set_gauge("sim.now", self.simulator.now)
+        registry.set_gauge("sim.events_executed", self.simulator.events_executed)
+        return registry.snapshot()

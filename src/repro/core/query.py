@@ -84,7 +84,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datalog.ast import Fact
 from ..net.host import Host
-from ..net.message import Message
+from ..net.message import Message, TRACE_CONTEXT_KEY
 from .cache import CacheKey, Dependent, QueryResultCache, vertex_of
 from .errors import QueryError
 from .rewrite import PROV_TABLE, RULE_EXEC_TABLE
@@ -178,6 +178,22 @@ _Continuation = Callable[[Any, _Height], None]
 _Waiter = Tuple[Optional[Dependent], _Continuation]
 
 
+#: A propagated trace context (``(trace_id, parent_span_id)``); shipped on
+#: protocol payloads under :data:`~repro.net.message.TRACE_CONTEXT_KEY` so a
+#: distributed traversal renders as one causally-linked tree across hosts.
+_Tc = Optional[Tuple[str, str]]
+
+
+def _end_with(span: Any, continuation: _Continuation) -> _Continuation:
+    """Wrap *continuation* to close *span* once the resolution completes."""
+
+    def done(result: Any, height: _Height) -> None:
+        span.end()
+        continuation(result, height)
+
+    return done
+
+
 def _combine_heights(child_heights: Sequence[_Height]) -> _Height:
     """Height of a vertex above its children; ``None`` taints the parent."""
     tallest = 0
@@ -239,11 +255,15 @@ class ProvenanceQueryService:
         cache_capacity: Optional[int] = None,
         coalesce: bool = True,
         batch: bool = True,
+        tracer: Any = None,
     ):
         self.host = host
         self.store = store
         self.node = host.address
         self.clock = clock
+        #: Optional :class:`repro.obs.tracer.Tracer`; every resolution then
+        #: opens a span linked into its root query's trace, across hosts.
+        self.tracer = tracer
         self.cache = (
             QueryResultCache(self.node)
             if cache_capacity is None
@@ -305,9 +325,26 @@ class ProvenanceQueryService:
         query_id = self._fresh_id()
         issued_at = self.clock()
         self.queries_started += 1
+        tracer = self.tracer
+        root_span = None
+        tc: _Tc = None
+        if tracer is not None:
+            root_span = tracer.begin(
+                "query.root",
+                cat="query",
+                host=self.node,
+                trace=(tracer.new_trace(), None),
+                vid=vid,
+                spec=spec_name,
+                target=target_node,
+                qid=query_id,
+            )
+            tc = root_span.context()
 
         def finish(result: Any, height: _Height) -> None:
             self.queries_completed += 1
+            if root_span is not None:
+                root_span.end()
             on_complete(
                 QueryOutcome(
                     query_id=query_id,
@@ -323,9 +360,11 @@ class ProvenanceQueryService:
         self.host.begin_turn()
         try:
             if target_node == self.node:
-                self._resolve_vid(vid, spec, finish, parent=None, depth=spec.max_depth)
+                self._resolve_vid(
+                    vid, spec, finish, parent=None, depth=spec.max_depth, tc=tc
+                )
             else:
-                self._ask_remote_root(vid, target_node, spec, query_id, finish)
+                self._ask_remote_root(vid, target_node, spec, query_id, finish, tc=tc)
         finally:
             self.host.end_turn()
         return query_id
@@ -337,6 +376,7 @@ class ProvenanceQueryService:
         spec: QuerySpec,
         query_id: str,
         finish: _Continuation,
+        tc: _Tc = None,
     ) -> None:
         """Issue (or coalesce onto) a remote root query for *vid*.
 
@@ -355,18 +395,18 @@ class ProvenanceQueryService:
         self._remote_roots[root] = query_id
         self._qid_root[query_id] = root
         self._continuations[query_id] = [finish]
-        self._send(
-            target_node,
-            {
-                "type": "provQuery",
-                "qid": query_id,
-                "vid": vid,
-                "spec": spec.name,
-                "ret": self.node,
-                "parent": None,
-                "depth": spec.max_depth,
-            },
-        )
+        payload = {
+            "type": "provQuery",
+            "qid": query_id,
+            "vid": vid,
+            "spec": spec.name,
+            "ret": self.node,
+            "parent": None,
+            "depth": spec.max_depth,
+        }
+        if tc is not None:
+            payload[TRACE_CONTEXT_KEY] = list(tc)
+        self._send(target_node, payload)
 
     def query_fact(
         self,
@@ -415,6 +455,13 @@ class ProvenanceQueryService:
             return None
         return (parent[0], tuple(parent[1]))
 
+    @staticmethod
+    def _parse_tc(payload: Dict[str, Any]) -> _Tc:
+        tc = payload.get(TRACE_CONTEXT_KEY)
+        if tc is None:
+            return None
+        return (tc[0], tc[1])
+
     def _handle_prov_query(self, payload: Dict[str, Any]) -> None:
         spec = self.spec(payload["spec"])
 
@@ -436,6 +483,7 @@ class ProvenanceQueryService:
             reply,
             parent=self._parse_parent(payload),
             depth=payload.get("depth", spec.max_depth),
+            tc=self._parse_tc(payload),
         )
 
     def _handle_rule_query(self, payload: Dict[str, Any]) -> None:
@@ -459,6 +507,7 @@ class ProvenanceQueryService:
             reply,
             parent=self._parse_parent(payload),
             depth=payload.get("depth", spec.max_depth),
+            tc=self._parse_tc(payload),
         )
 
     # ------------------------------------------------------------------ #
@@ -547,7 +596,15 @@ class ProvenanceQueryService:
         on_done: _Continuation,
         parent: Optional[Dependent],
         depth: int,
+        tc: _Tc = None,
     ) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.begin(
+                "query.resolve", cat="query", host=self.node, trace=tc, vid=vid, depth=depth
+            )
+            tc = span.context()
+            on_done = _end_with(span, on_done)
         key: CacheKey = ("v", spec.name, vid)
         if spec.use_cache:
             entry = self.cache.get(key, budget=depth)
@@ -602,11 +659,11 @@ class ProvenanceQueryService:
 
         if spec.traversal in (TraversalOrder.BFS, TraversalOrder.RANDOM_MOONWALK):
             self._resolve_derivations_parallel(
-                key, spec, derivations, initial_results, finish, depth
+                key, spec, derivations, initial_results, finish, depth, tc
             )
         else:
             self._resolve_derivations_sequential(
-                vid, key, spec, derivations, initial_results, finish, depth
+                vid, key, spec, derivations, initial_results, finish, depth, tc
             )
 
     def _moonwalk_rng(self, spec: QuerySpec, vid: str) -> random.Random:
@@ -627,6 +684,7 @@ class ProvenanceQueryService:
         initial_results: List[Any],
         finish: Callable[[List[Any], _Height], None],
         depth: int,
+        tc: _Tc = None,
     ) -> None:
         fan_in = _SlotFanIn(
             len(derivations),
@@ -640,6 +698,7 @@ class ProvenanceQueryService:
                 parent_key,
                 fan_in.collector(index),
                 depth,
+                tc,
             )
 
     def _resolve_derivations_sequential(
@@ -651,6 +710,7 @@ class ProvenanceQueryService:
         initial_results: List[Any],
         finish: Callable[[List[Any], _Height], None],
         depth: int,
+        tc: _Tc = None,
     ) -> None:
         results: List[Any] = list(initial_results)
         heights: List[_Height] = []
@@ -676,7 +736,7 @@ class ProvenanceQueryService:
                 advance()
 
             self._ask_rule_vertex(
-                entry.rid, entry.rule_location, spec, parent_key, on_child, depth
+                entry.rid, entry.rule_location, spec, parent_key, on_child, depth, tc
             )
 
         advance()
@@ -689,27 +749,33 @@ class ProvenanceQueryService:
         parent_key: CacheKey,
         on_result: _Continuation,
         depth: int,
+        tc: _Tc = None,
     ) -> None:
         """Resolve a rule-execution vertex, locally or via a remote query."""
         if rule_location == self.node:
             self._resolve_rid(
-                rid, spec, on_result, parent=(self.node, parent_key), depth=depth - 1
+                rid,
+                spec,
+                on_result,
+                parent=(self.node, parent_key),
+                depth=depth - 1,
+                tc=tc,
             )
             return
         query_id = self._fresh_id()
         self._continuations[query_id] = [on_result]
-        self._send(
-            rule_location,
-            {
-                "type": "ruleQuery",
-                "qid": query_id,
-                "rid": rid,
-                "spec": spec.name,
-                "ret": self.node,
-                "parent": (self.node, list(parent_key)),
-                "depth": depth - 1,
-            },
-        )
+        payload = {
+            "type": "ruleQuery",
+            "qid": query_id,
+            "rid": rid,
+            "spec": spec.name,
+            "ret": self.node,
+            "parent": (self.node, list(parent_key)),
+            "depth": depth - 1,
+        }
+        if tc is not None:
+            payload[TRACE_CONTEXT_KEY] = list(tc)
+        self._send(rule_location, payload)
 
     # ------------------------------------------------------------------ #
     # rule-execution-vertex resolution (rules rv1-rv4 of the paper)
@@ -721,7 +787,15 @@ class ProvenanceQueryService:
         on_done: _Continuation,
         parent: Optional[Dependent],
         depth: int,
+        tc: _Tc = None,
     ) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.begin(
+                "query.rule", cat="query", host=self.node, trace=tc, rid=rid, depth=depth
+            )
+            tc = span.context()
+            on_done = _end_with(span, on_done)
         key: CacheKey = ("r", spec.name, rid)
         if spec.use_cache:
             entry = self.cache.get(key, budget=depth)
@@ -772,6 +846,7 @@ class ProvenanceQueryService:
                 fan_in.collector(index),
                 parent=(self.node, key),
                 depth=depth - 1,
+                tc=tc,
             )
 
     # ------------------------------------------------------------------ #

@@ -265,6 +265,10 @@ class NDlogEngine:
         self._annotations: Dict[Tuple[str, Tuple[Any, ...]], Any] = {}
         self.rules: List[Rule] = []
         self.stats: Dict[str, int] = defaultdict(int)
+        #: Tracer installed via :meth:`set_tracer`; ``None`` when untraced.
+        #: Never feeds :attr:`stats` — engine counters are part of the
+        #: deterministic state digest and must not see tracing.
+        self.tracer = None
         self.planner = planner if planner is not None else default_planner()
         if self.planner not in PLANNERS:
             raise ValidationError(
@@ -368,6 +372,57 @@ class NDlogEngine:
     def set_send(self, send: Callable[[Any, Delta], None]) -> None:
         """Set the callback used to ship deltas to remote nodes."""
         self._send = send
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or remove, with ``None``) an observability tracer.
+
+        Enabling tracing rebinds :meth:`run`, :meth:`_process_batch` and
+        :meth:`_fire_rules` to traced wrappers through the instance dict, so
+        the untraced hot path carries *zero* per-delta overhead — not even a
+        ``tracer is None`` check — which is what keeps the disabled-tracer
+        cost on the batch benchmarks at noise level.
+        """
+        self.tracer = tracer
+        if tracer is None:
+            self.__dict__.pop("run", None)
+            self.__dict__.pop("_process_batch", None)
+            self.__dict__.pop("_fire_rules", None)
+        else:
+            self.__dict__["run"] = self._traced_run
+            self.__dict__["_process_batch"] = self._traced_process_batch
+            self.__dict__["_fire_rules"] = self._traced_fire_rules
+
+    def _traced_run(self, max_steps: Optional[int] = None) -> int:
+        if not self._queue:
+            return NDlogEngine.run(self, max_steps)
+        with self.tracer.span(
+            "fixpoint.round", cat="engine", host=self.address
+        ) as span:
+            steps = NDlogEngine.run(self, max_steps)
+            span.add(deltas=steps)
+        return steps
+
+    def _traced_process_batch(self, name: str, action: str, batch) -> None:
+        with self.tracer.span(
+            "engine.batch",
+            cat="engine",
+            host=self.address,
+            predicate=name,
+            action=action,
+            deltas=len(batch),
+        ):
+            NDlogEngine._process_batch(self, name, action, batch)
+
+    def _traced_fire_rules(self, firings, delta: Delta) -> None:
+        with self.tracer.span(
+            "plan.exec",
+            cat="engine",
+            host=self.address,
+            predicate=delta.fact.name,
+            action=delta.action,
+            rule=",".join(firing.rule.label for firing in firings),
+        ):
+            NDlogEngine._fire_rules(self, firings, delta)
 
     # ------------------------------------------------------------------ #
     # external updates

@@ -5,16 +5,23 @@ Subcommands::
     python -m repro.experiments list                    # registered scenarios
     python -m repro.experiments run --all --quick --workers 4
     python -m repro.experiments run 6 7 planner_ablation --paper
+    python -m repro.experiments run 13 --trace traces   # + Chrome traces
     python -m repro.experiments compare benchmarks/baselines results
+    python -m repro.experiments trace traces/TRACE_*.json
 
 ``run`` writes one schema-versioned artifact per scenario
 (``results/BENCH_<scenario>.json``); re-runs reuse trials whose stored
 fingerprint still matches (``--no-resume`` forces re-execution).  A run is
-deterministic: any ``--workers`` value produces byte-identical artifacts.
+deterministic: any ``--workers`` value produces byte-identical artifacts —
+and so does ``--trace``, which additionally writes one Perfetto-loadable
+Chrome trace per executed trial plus advisory per-trial phase breakdowns.
 
 ``compare`` diffs two artifact directories on the planner/traffic counters
 and exits non-zero on regressions beyond ``--threshold`` — the CI bench
 job runs it against the committed baselines under ``benchmarks/baselines/``.
+
+``trace`` validates captured trace files against the Chrome trace-event
+schema and prints their flamegraph-style phase summaries.
 
 The legacy per-figure report (tables plus the paper's qualitative shape
 checks) remains available as ``python -m repro.experiments.runner``.
@@ -27,6 +34,12 @@ import sys
 from typing import Optional, Sequence
 
 from ..datalog.engine import PLANNERS
+from ..obs.export import (
+    load_trace,
+    phase_summary,
+    summarize_trace_events,
+    validate_chrome_trace,
+)
 from .orchestrator import (
     DEFAULT_RESULTS_DIR,
     compare,
@@ -68,6 +81,7 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
             planner=arguments.planner,
             shards=arguments.shards,
             verbose=arguments.verbose,
+            trace_dir=arguments.trace,
         )
     except KeyError as error:
         # Unknown scenario name / figure number: an error line, not a trace.
@@ -75,6 +89,42 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         return 2
     print(report.render())
     return 0
+
+
+def _cmd_trace(arguments: argparse.Namespace) -> int:
+    status = 0
+    for path in arguments.files:
+        try:
+            payload = load_trace(path)
+        except (OSError, ValueError) as error:
+            print(f"{path}: unreadable trace: {error}")
+            status = 1
+            continue
+        errors = validate_chrome_trace(payload)
+        if errors:
+            print(f"{path}: INVALID ({len(errors)} error(s)):")
+            for line in errors[: arguments.max_errors]:
+                print(f"  {line}")
+            status = 1
+            continue
+        events = payload["traceEvents"]
+        spans = [event for event in events if event.get("ph") == "X"]
+        print(f"{path}: valid Chrome trace ({len(spans)} span(s))")
+        print(phase_summary(summarize_trace_events(events)))
+        if arguments.top:
+            slowest = sorted(
+                spans,
+                key=lambda event: -(event.get("args", {}).get("wall_us", 0.0)),
+            )[: arguments.top]
+            print(f"  top {len(slowest)} span(s) by advisory wall time:")
+            for event in slowest:
+                args = event.get("args", {})
+                print(
+                    f"    {event['name']:<18} ts={event.get('ts', 0):>12.1f}us "
+                    f"wall={args.get('wall_us', 0.0):>10.1f}us "
+                    f"span={args.get('span_id', '?')}"
+                )
+    return status
 
 
 def _cmd_compare(arguments: argparse.Namespace) -> int:
@@ -151,8 +201,28 @@ def build_parser() -> argparse.ArgumentParser:
         "sharded engine is bit-identical to serial, so artifacts are "
         "byte-identical for any value — CI exploits that as a gate)",
     )
+    run_parser.add_argument(
+        "--trace", nargs="?", const="traces", default=None, metavar="DIR",
+        help="capture span traces: one Chrome trace-event JSON per executed "
+        "trial under DIR (default: traces/) plus advisory per-trial phase "
+        "breakdowns; artifacts stay byte-identical to an untraced run",
+    )
     run_parser.add_argument("--verbose", action="store_true")
     run_parser.set_defaults(handler=_cmd_run)
+
+    trace_parser = commands.add_parser(
+        "trace", help="validate captured traces, print phase summaries"
+    )
+    trace_parser.add_argument("files", nargs="+", help="TRACE_*.json files")
+    trace_parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="also list the N slowest spans by advisory wall time",
+    )
+    trace_parser.add_argument(
+        "--max-errors", type=int, default=10,
+        help="schema errors to print per invalid file (default 10)",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     compare_parser = commands.add_parser(
         "compare", help="diff two artifact directories; exit 1 on regressions"

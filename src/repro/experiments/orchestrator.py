@@ -36,6 +36,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.export import phase_breakdown, write_chrome_trace
+from ..obs.runtime import disable_tracing, enable_tracing
 from .scenarios import (
     Scenario,
     TrialSpec,
@@ -77,8 +79,10 @@ DEFAULT_RESULTS_DIR = "results"
 #: excluded from fingerprints, from ``compare``'s regression gate, and from
 #: ``strict_compare``'s byte-identity check.  ``wall_seconds`` tracks real
 #: per-trial wall-clock so the BENCH artifacts carry a speed trajectory
-#: without breaking determinism guarantees.
-ADVISORY_TRIAL_KEYS: Tuple[str, ...] = ("wall_seconds",)
+#: without breaking determinism guarantees; ``phases`` is the per-trial
+#: span-phase wall breakdown captured when tracing is enabled (absent
+#: otherwise — and stripped here so tracing on/off stays byte-identical).
+ADVISORY_TRIAL_KEYS: Tuple[str, ...] = ("wall_seconds", "phases")
 
 #: Counters the regression gate watches, searched in each trial's
 #: ``planner`` and ``traffic`` sections (a key absent from the *baseline*
@@ -191,19 +195,59 @@ def _fresh_results(
     }
 
 
+#: Per-process trace output directory; ``None`` disables tracing.  Set by
+#: :func:`_configure_worker` (pool initializer) or directly by :func:`run`
+#: for the in-process path.  Like the ``shards`` default it deliberately
+#: never enters trial kwargs or fingerprints: tracing must not change what
+#: a trial *is*, only what it additionally emits.
+_TRACE_DIR: Optional[str] = None
+
+
+def _configure_worker(shards: int, trace_dir: Optional[str]) -> None:
+    """Process-pool initializer: default shard count + trace directory."""
+    global _TRACE_DIR
+    set_default_shards(shards)
+    _TRACE_DIR = trace_dir
+
+
+def _trace_filename(scenario: str, trial_id: str) -> str:
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_." else "-" for ch in f"{scenario}_{trial_id}"
+    )
+    return f"TRACE_{safe}.json"
+
+
 def _run_task(task: Tuple[str, str, str, Dict[str, Any]]) -> Dict[str, Any]:
     """Worker entry point: run one trial spec (must stay module-level).
 
     Returns ``{"result": ..., "wall_seconds": ...}``; the wall-clock is
-    advisory (see :data:`ADVISORY_TRIAL_KEYS`).
+    advisory (see :data:`ADVISORY_TRIAL_KEYS`).  When a trace directory is
+    configured, the trial runs under a process-wide trace session, its
+    Chrome trace is written to ``TRACE_<scenario>_<trial>.json`` and the
+    per-phase wall breakdown is returned under the advisory ``"phases"``
+    key.
     """
     scenario, trial_id, fn, kwargs = task
+    trace_dir = _TRACE_DIR
+    session = enable_tracing() if trace_dir is not None else None
     started = time.perf_counter()
-    result = run_trial_spec(TrialSpec(scenario, trial_id, fn, kwargs))
-    return {
+    try:
+        result = run_trial_spec(TrialSpec(scenario, trial_id, fn, kwargs))
+    finally:
+        if session is not None:
+            disable_tracing()
+    outcome = {
         "result": result,
         "wall_seconds": round(time.perf_counter() - started, 3),
     }
+    if session is not None:
+        outcome["phases"] = phase_breakdown(session.phase_aggregates())
+        os.makedirs(trace_dir, exist_ok=True)
+        write_chrome_trace(
+            os.path.join(trace_dir, _trace_filename(scenario, trial_id)),
+            session.span_records(),
+        )
+    return outcome
 
 
 def _accepts_planner(fn_name: str) -> bool:
@@ -242,6 +286,7 @@ def run(
     planner: Optional[str] = None,
     shards: Optional[int] = None,
     verbose: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> RunReport:
     """Run scenarios and write one ``BENCH_<scenario>.json`` per scenario.
 
@@ -255,9 +300,17 @@ def run(
     bit-identical to the serial one — artifacts produced under any
     ``shards`` value must match byte for byte, which is how CI verifies
     the engine's determinism guarantee against the committed baselines.
-    With ``resume`` (the default), trials whose stored fingerprint still
-    matches are reused from the existing artifact instead of re-executed.
+    ``trace_dir`` mirrors ``shards``: it enables span tracing for every
+    executed trial, writes one Chrome trace per trial into the directory
+    and adds the advisory per-trial ``"phases"`` breakdown — while the
+    artifacts stay byte-identical to an untraced run (that identity is the
+    tracing subsystem's own CI gate).  Resumed trials were not executed,
+    so they carry no trace or phases; pass ``resume=False`` to capture a
+    complete trace set.  With ``resume`` (the default), trials whose
+    stored fingerprint still matches are reused from the existing artifact
+    instead of re-executed.
     """
+    global _TRACE_DIR
     if shards is not None:
         set_default_shards(shards)
     scenarios = resolve_scenarios(names)
@@ -314,12 +367,17 @@ def run(
         if workers > 1 and len(pending) > 1:
             with ProcessPoolExecutor(
                 max_workers=workers,
-                initializer=set_default_shards,
-                initargs=(shards if shards is not None else 1,),
+                initializer=_configure_worker,
+                initargs=(shards if shards is not None else 1, trace_dir),
             ) as pool:
                 results = list(pool.map(_run_task, pending, chunksize=1))
         else:
-            results = [_run_task(task) for task in pending]
+            previous_trace_dir = _TRACE_DIR
+            _TRACE_DIR = trace_dir
+            try:
+                results = [_run_task(task) for task in pending]
+            finally:
+                _TRACE_DIR = previous_trace_dir
         for task, result in zip(pending, results):
             executed[(task[0], task[1])] = result
         report.executed = len(pending)
@@ -332,12 +390,14 @@ def run(
                 outcome = executed[key]
                 result = outcome["result"]
                 wall_seconds = outcome["wall_seconds"]
+                phases = outcome.get("phases")
             else:
                 reused = fresh[(spec.trial_id, fingerprint)]
                 result = reused["result"]
-                # Advisory: a resumed trial keeps the wall-clock measured
-                # when it actually ran (absent in pre-wall_seconds files).
+                # Advisory: a resumed trial keeps the wall-clock (and phase
+                # breakdown) measured when it actually ran, when present.
                 wall_seconds = reused.get("wall_seconds")
+                phases = reused.get("phases")
             trial: Dict[str, Any] = {
                 "id": spec.trial_id,
                 "fn": spec.fn,
@@ -347,6 +407,8 @@ def run(
             }
             if wall_seconds is not None:
                 trial["wall_seconds"] = wall_seconds
+            if phases is not None:
+                trial["phases"] = phases
             trials.append(trial)
         path = artifact_path(results_dir, scenario.name)
         dump_artifact(path, _build_artifact(scenario, scale, params, trials))

@@ -25,10 +25,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-__all__ = ["Message", "payload_size", "batch_size", "HEADER_OVERHEAD"]
+__all__ = [
+    "Message",
+    "payload_size",
+    "batch_size",
+    "HEADER_OVERHEAD",
+    "TRACE_CONTEXT_KEY",
+]
 
 #: Fixed per-message overhead in bytes (UDP + IPv4 headers).
 HEADER_OVERHEAD = 28
+
+#: Reserved payload-dict key carrying observability trace context
+#: (``[trace_id, parent_span_id]``; see :mod:`repro.obs.tracer`).  It is
+#: *exempt* from wire-size accounting: tracing rides along for free so
+#: every byte counter is identical with tracing on or off — the real
+#: system would ship span context in headers outside the measured payload.
+TRACE_CONTEXT_KEY = "_tc"
 
 
 def payload_size(value: Any) -> int:
@@ -47,7 +60,9 @@ def payload_size(value: Any) -> int:
         return 2 + sum(payload_size(item) for item in value)
     if isinstance(value, dict):
         return 2 + sum(
-            payload_size(key) + payload_size(item) for key, item in value.items()
+            payload_size(key) + payload_size(item)
+            for key, item in value.items()
+            if key != TRACE_CONTEXT_KEY
         )
     if hasattr(value, "wire_size"):
         return int(value.wire_size())

@@ -85,7 +85,11 @@ class Network:
         shard_map: Optional[Mapping[Any, int]] = None,
         compact_min_cancelled: Optional[int] = None,
         compact_ratio: Optional[float] = None,
+        traffic_record_cap: Optional[int] = None,
     ):
+        """``traffic_record_cap`` bounds the per-message records retained by
+        :class:`~repro.net.stats.TrafficStats` (aggregate counters stay
+        exact); ``None`` keeps the default unbounded history."""
         self.topology = topology
         if simulator is not None:
             self.simulator = simulator
@@ -96,7 +100,7 @@ class Network:
             if compact_ratio is not None:
                 kwargs["compact_ratio"] = compact_ratio
             self.simulator = Simulator(**kwargs)
-        self.stats = TrafficStats()
+        self.stats = TrafficStats(max_records=traffic_record_cap)
         self.default_latency = default_latency
         self.model_transmission_delay = model_transmission_delay
         self._hosts: Dict[Any, Host] = {}

@@ -340,13 +340,28 @@ class _WorkerConfig:
     compact_min_cancelled: Optional[int]
     compact_ratio: Optional[float]
     query_specs: Sequence[Any] = field(default_factory=tuple)
+    #: When set, the worker builds its own shard-tagged tracer; spans are
+    #: pulled over the pipe by the driver's ``"spans"`` verb and merged in
+    #: deterministic (sim time, shard, seq) order.
+    trace: bool = False
+    traffic_record_cap: Optional[int] = None
 
 
 def _worker_main(conn, config: _WorkerConfig) -> None:
     """Run one shard: build the local slice, then serve barrier commands."""
     try:
         from ..core.api import ExspanNetwork
+        from ..obs import runtime as obs_runtime
 
+        # Forked workers inherit the parent's process-wide trace session;
+        # drop it — worker spans are collected explicitly over the pipe
+        # (the "spans" verb), with their own shard-tagged tracer.
+        obs_runtime.disable_tracing()
+        tracer = None
+        if config.trace:
+            from ..obs.tracer import Tracer
+
+            tracer = Tracer(shard=config.shard_id)
         local = [
             node
             for node in config.topology.nodes
@@ -365,6 +380,8 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
             shard_map=config.assignment,
             compact_min_cancelled=config.compact_min_cancelled,
             compact_ratio=config.compact_ratio,
+            tracer=tracer,
+            traffic_record_cap=config.traffic_record_cap,
         )
         for spec in config.query_specs:
             net.register_query_spec(spec)
@@ -412,6 +429,13 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
                 conn.send(("ok", dict(outcomes)))
             elif verb == "records":
                 conn.send(("ok", net.stats))
+            elif verb == "spans":
+                state = (
+                    net.tracer.export_state()
+                    if net.tracer is not None
+                    else ((), {}, 0)
+                )
+                conn.send(("ok", state))
             else:
                 conn.send(("error", f"unknown command {verb!r}"))
     except BaseException:
@@ -498,8 +522,11 @@ class ShardedExspanNetwork:
         compact_ratio: Optional[float] = None,
         partition: Optional[Mapping[Any, int]] = None,
         query_specs: Sequence[Any] = (),
+        tracer: Any = None,
+        traffic_record_cap: Optional[int] = None,
     ):
         from ..core.modes import ProvenanceMode
+        from ..obs import runtime as obs_runtime
 
         if mode is None:
             mode = ProvenanceMode.REFERENCE
@@ -523,6 +550,16 @@ class ShardedExspanNetwork:
         self._next_times: List[Optional[float]] = [None] * self.shards
         self._now = 0.0
         self._closed = False
+        # Driver-side tracer (shard -1): holds barrier/window phase spans
+        # and, after collect_spans(), every worker's spans merged in.
+        if tracer is None:
+            session = obs_runtime.active_session()
+            if session is not None:
+                tracer = session.new_tracer(clock=lambda: self._now, shard=-1)
+        else:
+            tracer.set_clock(lambda: self._now)
+        self.tracer = tracer
+        self._spans_collected = False
         #: Per-window executed-event counts (one list per window round),
         #: the raw material of :meth:`parallelism_report`.
         self.window_loads: List[List[int]] = []
@@ -542,6 +579,8 @@ class ShardedExspanNetwork:
                 compact_min_cancelled=compact_min_cancelled,
                 compact_ratio=compact_ratio,
                 query_specs=tuple(query_specs),
+                trace=self.tracer is not None,
+                traffic_record_cap=traffic_record_cap,
             )
             process = self._context.Process(
                 target=_worker_main, args=(child_conn, config), daemon=True
@@ -560,9 +599,29 @@ class ShardedExspanNetwork:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def collect_spans(self) -> None:
+        """Merge every worker tracer's spans into the driver tracer.
+
+        Idempotent; runs automatically on :meth:`close`.  Worker states are
+        absorbed in shard order and every consumer re-sorts records by
+        ``(sim time, shard, seq)``, so the merged trace is independent of
+        pipe drain order.
+        """
+        if self.tracer is None or self._spans_collected or self._closed:
+            return
+        self._spans_collected = True
+        for state in self._command_all([("spans",)] * self.shards):
+            self.tracer.absorb(state)
+
     def close(self) -> None:
         if self._closed:
             return
+        try:
+            self.collect_spans()
+        except RuntimeError:
+            pass  # a shard died; keep whatever spans the driver already has
+        if self._closed:
+            return  # a failed collect_spans already closed the pipes
         self._closed = True
         for conn in self._connections:
             try:
@@ -639,11 +698,15 @@ class ShardedExspanNetwork:
     # execution
     # ------------------------------------------------------------------ #
     def seed_links(self, cost: Optional[int] = None) -> int:
+        tracer = self.tracer
+        span = tracer.begin("shard.seed", cat="shard") if tracer is not None else None
         replies = self._command_all([("seed", cost)] * self.shards)
         inserted = sum(reply[3] for reply in replies)
         self._absorb_window_replies(
             [(reply[0], reply[1], reply[2], 0) for reply in replies]
         )
+        if span is not None:
+            span.end(links=inserted)
         return inserted
 
     def _quiesce(self, limit: Optional[float] = None) -> None:
@@ -665,11 +728,22 @@ class ShardedExspanNetwork:
             else:
                 horizon = start + self.lookahead
             parked = self._take_parked()
+            tracer = self.tracer
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "shard.window",
+                    cat="shard",
+                    horizon=horizon,
+                    envelopes=sum(len(shard_parked) for shard_parked in parked),
+                )
             replies = self._command_all(
                 [("window", horizon, parked[shard]) for shard in range(self.shards)]
             )
             self.window_loads.append([reply[3] for reply in replies])
             self._absorb_window_replies(replies)
+            if span is not None:
+                span.end(events=sum(reply[3] for reply in replies))
         if limit is not None and any(self._parked):
             # Envelopes at or past the limit: hand them over with the limit
             # itself as the horizon.  Everything left lives at or past the
@@ -744,10 +818,16 @@ class ShardedExspanNetwork:
                 per_shard[self.assignment[issuer]].append(op)
             else:
                 raise ValueError(f"unknown script op kind {op.kind!r}")
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("shard.apply", cat="shard", ops=len(ops))
         replies = self._command_all(
             [("apply", time, per_shard[shard]) for shard in range(self.shards)]
         )
         self._absorb_window_replies(replies)
+        if span is not None:
+            span.end()
         if topology_changed:
             self._recompute_lookahead()
 

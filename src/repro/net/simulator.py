@@ -117,6 +117,9 @@ class Simulator:
         self.compact_ratio = compact_ratio
         self.events_executed = 0
         self.compactions = 0
+        #: Optional :class:`repro.obs.tracer.Tracer`; when set, every event
+        #: dispatch is wrapped in a ``sim.event`` span (simulated-time axis).
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -233,7 +236,12 @@ class Simulator:
         if event is None:
             return False
         self._now = event.time
-        event.callback()
+        tracer = self.tracer
+        if tracer is None:
+            event.callback()
+        else:
+            with tracer.span("sim.event", cat="sim"):
+                event.callback()
         self.events_executed += 1
         return True
 

@@ -14,6 +14,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import merged_counters
+
 __all__ = [
     "MessageRecord",
     "TrafficStats",
@@ -46,20 +48,70 @@ class MessageRecord:
 
 
 class TrafficStats:
-    """Accumulates :class:`MessageRecord` entries and answers questions."""
+    """Accumulates :class:`MessageRecord` entries and answers questions.
 
-    def __init__(self) -> None:
+    Bounded / streaming mode
+    ------------------------
+    By default every record is retained (the views below need the raw
+    list).  With ``max_records=N`` the collector keeps only the first N
+    raw records — million-message runs stop growing an unbounded list —
+    while maintaining exact streaming aggregates for every *scalar* view:
+    :meth:`total_bytes`, :meth:`total_messages`, :meth:`bytes_by_sender`,
+    :meth:`average_bytes_per_node` and :meth:`last_activity_time` count
+    dropped records too.  Only the record-shaped views
+    (:meth:`records`, :meth:`bandwidth_timeseries`, ``len()``) are limited
+    to the retained prefix; ``dropped_records`` says how much was shed.
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {max_records}")
         self._records: List[MessageRecord] = []
+        self._max_records = max_records
         self.messages_sent = 0
+        self.dropped_records = 0
+        # Streaming aggregates, maintained only in bounded mode (the
+        # unbounded default computes every view from the raw records, so
+        # the hot recording path stays a single append).
+        self._kind_totals: Optional[Dict[str, List[float]]] = (
+            None if max_records is None else {}
+        )
+        self._sender_kind_bytes: Dict[Tuple[Any, str], int] = {}
+
+    @property
+    def max_records(self) -> Optional[int]:
+        return self._max_records
 
     def record(self, time: float, source: Any, destination: Any, size: int, kind: str) -> None:
-        self._records.append(MessageRecord(time, source, destination, size, kind))
         self.messages_sent += 1
+        if self._max_records is None:
+            self._records.append(MessageRecord(time, source, destination, size, kind))
+            return
+        if len(self._records) < self._max_records:
+            self._records.append(MessageRecord(time, source, destination, size, kind))
+        else:
+            self.dropped_records += 1
+        totals = self._kind_totals.get(kind)
+        if totals is None:
+            self._kind_totals[kind] = [1, size, time]
+        else:
+            totals[0] += 1
+            totals[1] += size
+            if time > totals[2]:
+                totals[2] = time
+        sender_key = (source, kind)
+        self._sender_kind_bytes[sender_key] = (
+            self._sender_kind_bytes.get(sender_key, 0) + size
+        )
 
     def reset(self) -> None:
         """Drop all records (used between experiment phases)."""
         self._records.clear()
         self.messages_sent = 0
+        self.dropped_records = 0
+        if self._kind_totals is not None:
+            self._kind_totals = {}
+        self._sender_kind_bytes = {}
 
     # ------------------------------------------------------------------ #
     # aggregate views
@@ -70,15 +122,51 @@ class TrafficStats:
         wanted = set(kinds)
         return [record for record in self._records if record.kind in wanted]
 
+    def _selected_kind_totals(
+        self, kinds: Optional[Iterable[str]]
+    ) -> List[List[float]]:
+        assert self._kind_totals is not None
+        if kinds is None:
+            return list(self._kind_totals.values())
+        wanted = set(kinds)
+        return [
+            totals for kind, totals in self._kind_totals.items() if kind in wanted
+        ]
+
     def total_bytes(self, kinds: Optional[Iterable[str]] = None) -> int:
+        if self._kind_totals is not None:
+            return int(sum(totals[1] for totals in self._selected_kind_totals(kinds)))
         return sum(record.size for record in self.records(kinds))
 
     def total_messages(self, kinds: Optional[Iterable[str]] = None) -> int:
+        if self._kind_totals is not None:
+            return int(sum(totals[0] for totals in self._selected_kind_totals(kinds)))
         return len(self.records(kinds))
+
+    def kind_totals(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind ``(messages, bytes)`` totals (exact in both modes)."""
+        if self._kind_totals is not None:
+            return {
+                kind: (int(totals[0]), int(totals[1]))
+                for kind, totals in sorted(self._kind_totals.items())
+            }
+        per_kind: Dict[str, List[int]] = {}
+        for record in self._records:
+            totals = per_kind.setdefault(record.kind, [0, 0])
+            totals[0] += 1
+            totals[1] += record.size
+        return {kind: (totals[0], totals[1]) for kind, totals in sorted(per_kind.items())}
 
     def bytes_by_sender(self, kinds: Optional[Iterable[str]] = None) -> Dict[Any, int]:
         """Bytes transmitted per sending node."""
-        per_node: Dict[Any, int] = defaultdict(int)
+        if self._kind_totals is not None:
+            wanted = None if kinds is None else set(kinds)
+            per_node: Dict[Any, int] = defaultdict(int)
+            for (source, kind), size in self._sender_kind_bytes.items():
+                if wanted is None or kind in wanted:
+                    per_node[source] += size
+            return dict(per_node)
+        per_node = defaultdict(int)
         for record in self.records(kinds):
             per_node[record.source] += record.size
         return dict(per_node)
@@ -120,6 +208,11 @@ class TrafficStats:
 
     def last_activity_time(self, kinds: Optional[Iterable[str]] = None) -> float:
         """Time of the last recorded message (used as fixpoint latency)."""
+        if self._kind_totals is not None:
+            return max(
+                (totals[2] for totals in self._selected_kind_totals(kinds)),
+                default=0.0,
+            )
         records = self.records(kinds)
         return max((record.time for record in records), default=0.0)
 
@@ -128,7 +221,14 @@ class TrafficStats:
 
 
 class LatencyStats:
-    """Collects completion latencies (e.g. of provenance queries)."""
+    """Collects completion latencies (e.g. of provenance queries).
+
+    Empty-sample behaviour is defined: :meth:`mean` and
+    :meth:`percentile` raise :class:`ValueError` (an empty collector has
+    no mean — the old silent ``0.0`` let an accidentally empty workload
+    masquerade as an instant one), while :meth:`cdf` returns the empty
+    list (an empty distribution plots as nothing).
+    """
 
     def __init__(self) -> None:
         self._samples: List[float] = []
@@ -147,18 +247,22 @@ class LatencyStats:
         return len(self._samples)
 
     def mean(self) -> float:
-        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+        if not self._samples:
+            raise ValueError("LatencyStats.mean() on an empty sample set")
+        return sum(self._samples) / len(self._samples)
 
     def percentile(self, fraction: float) -> float:
         """Return the latency at the given CDF *fraction* (0..1)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
         if not self._samples:
-            return 0.0
+            raise ValueError("LatencyStats.percentile() on an empty sample set")
         ordered = sorted(self._samples)
         index = min(int(fraction * len(ordered)), len(ordered) - 1)
         return ordered[index]
 
     def cdf(self, points: int = 50) -> List[Tuple[float, float]]:
-        """Return ``(latency, cumulative_fraction)`` pairs for plotting."""
+        """``(latency, cumulative_fraction)`` pairs; ``[]`` when empty."""
         return cdf_points(self._samples, points)
 
 
@@ -188,11 +292,7 @@ def aggregate_engine_stats(
     planner/evaluation counters of :data:`ENGINE_COUNTER_KEYS` are always
     present (zero when untouched) so reports have a stable schema.
     """
-    totals: Dict[str, int] = {key: 0 for key in ENGINE_COUNTER_KEYS}
-    for stats in stats_maps:
-        for key, value in stats.items():
-            totals[key] = totals.get(key, 0) + value
-    return totals
+    return merged_counters(stats_maps, schema=ENGINE_COUNTER_KEYS)
 
 
 #: Query-engine counters surfaced in benchmark reports, in display order.
@@ -223,11 +323,7 @@ def aggregate_query_stats(stats_maps: Iterable[Dict[str, int]]) -> Dict[str, int
     :data:`QUERY_COUNTER_KEYS` are always present (zero when untouched) so
     reports have a stable schema.
     """
-    totals: Dict[str, int] = {key: 0 for key in QUERY_COUNTER_KEYS}
-    for stats in stats_maps:
-        for key, value in stats.items():
-            totals[key] = totals.get(key, 0) + value
-    return totals
+    return merged_counters(stats_maps, schema=QUERY_COUNTER_KEYS)
 
 
 def merge_counter_dicts(dicts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
@@ -236,11 +332,7 @@ def merge_counter_dicts(dicts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     Keys are emitted in sorted order so the merged dict is independent of
     shard iteration order (and of ``PYTHONHASHSEED``).
     """
-    totals: Dict[str, Any] = {}
-    for counters in dicts:
-        for key, value in counters.items():
-            totals[key] = totals.get(key, 0) + value
-    return dict(sorted(totals.items()))
+    return merged_counters(dicts, sort=True)
 
 
 def merge_traffic_records(

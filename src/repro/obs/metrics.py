@@ -1,0 +1,195 @@
+"""A labelled metrics registry and the generic keyed counter merge.
+
+The repository grew three hand-rolled counter-merge loops
+(:func:`repro.net.stats.aggregate_engine_stats`,
+:func:`~repro.net.stats.aggregate_query_stats`,
+:func:`~repro.net.stats.merge_counter_dicts`); they are now thin wrappers
+over :func:`merged_counters`, which reproduces each one's key ordering
+exactly (schema keys first in declaration order, extras in insertion
+order, or fully sorted) so merged dicts stay byte-identical to the
+pre-refactor output.
+
+:class:`MetricsRegistry` is the forward-looking surface: counters, gauges
+and histograms with labels, a canonical :meth:`~MetricsRegistry.snapshot`
+and a :meth:`~MetricsRegistry.merge_snapshots` that folds per-shard (or
+per-trial) snapshots into one — the same shape Prometheus-style clients
+expose, kept dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+__all__ = ["merged_counters", "MetricsRegistry"]
+
+Number = Union[int, float]
+#: Canonical label identity: sorted ``(key, value)`` items.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def merged_counters(
+    maps: Iterable[Mapping[str, Any]],
+    schema: Sequence[str] = (),
+    sort: bool = False,
+) -> Dict[str, Any]:
+    """Sum same-keyed numeric dicts into one.
+
+    ``schema`` keys are pre-seeded to zero (and therefore lead the output
+    in declaration order, giving reports a stable layout); other keys
+    follow in first-appearance order, or fully sorted with ``sort=True``
+    (the ``PYTHONHASHSEED``-independent form cross-shard merges need).
+    """
+    totals: Dict[str, Any] = {key: 0 for key in schema}
+    for counters in maps:
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+    if sort:
+        return dict(sorted(totals.items()))
+    return totals
+
+
+def _labels_key(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _render_key(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with labels.
+
+    All views are canonical: series are keyed ``name{label=value,...}``
+    with sorted label items, and snapshots sort every key — so a snapshot
+    is deterministic under any insertion order and any hash seed.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelItems], Number] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Number] = {}
+        #: (name, labels) -> [count, total, min, max]
+        self._histograms: Dict[Tuple[str, LabelItems], List[float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # instruments
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, value: Number = 1, **labels: Any) -> None:
+        """Add *value* to the counter series ``name{labels}``."""
+        key = (name, _labels_key(labels))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: Number, **labels: Any) -> None:
+        """Set the gauge series ``name{labels}`` to *value*."""
+        self._gauges[(name, _labels_key(labels))] = value
+
+    def observe(self, name: str, value: Number, **labels: Any) -> None:
+        """Record one histogram observation for ``name{labels}``."""
+        key = (name, _labels_key(labels))
+        stats = self._histograms.get(key)
+        if stats is None:
+            self._histograms[key] = [1, float(value), float(value), float(value)]
+        else:
+            stats[0] += 1
+            stats[1] += value
+            if value < stats[2]:
+                stats[2] = float(value)
+            if value > stats[3]:
+                stats[3] = float(value)
+
+    def counter_value(self, name: str, **labels: Any) -> Number:
+        return self._counters.get((name, _labels_key(labels)), 0)
+
+    def absorb_counters(
+        self, counters: Mapping[str, Number], prefix: str = "", **labels: Any
+    ) -> None:
+        """Fold a plain counter dict (one of the legacy stats maps) in."""
+        for key, value in counters.items():
+            self.inc(f"{prefix}{key}", value, **labels)
+
+    # ------------------------------------------------------------------ #
+    # snapshot / merge
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """Canonical JSON-able view of every series."""
+        counters = {
+            _render_key(name, labels): value
+            for (name, labels), value in self._counters.items()
+        }
+        gauges = {
+            _render_key(name, labels): value
+            for (name, labels), value in self._gauges.items()
+        }
+        histograms = {
+            _render_key(name, labels): {
+                "count": int(stats[0]),
+                "sum": stats[1],
+                "min": stats[2],
+                "max": stats[3],
+                "mean": stats[1] / stats[0],
+            }
+            for (name, labels), stats in self._histograms.items()
+        }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    @staticmethod
+    def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Fold several snapshots into one.
+
+        Counters and histogram counts/sums add; histogram min/max fold;
+        gauges take the maximum (the deterministic choice for the
+        high-water readings gauges carry here).
+        """
+        counters: Dict[str, Number] = {}
+        gauges: Dict[str, Number] = {}
+        histograms: Dict[str, List[float]] = {}
+        for snapshot in snapshots:
+            for key, value in snapshot.get("counters", {}).items():
+                counters[key] = counters.get(key, 0) + value
+            for key, value in snapshot.get("gauges", {}).items():
+                gauges[key] = max(gauges[key], value) if key in gauges else value
+            for key, stats in snapshot.get("histograms", {}).items():
+                merged = histograms.get(key)
+                if merged is None:
+                    histograms[key] = [
+                        stats["count"],
+                        stats["sum"],
+                        stats["min"],
+                        stats["max"],
+                    ]
+                else:
+                    merged[0] += stats["count"]
+                    merged[1] += stats["sum"]
+                    merged[2] = min(merged[2], stats["min"])
+                    merged[3] = max(merged[3], stats["max"])
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": {
+                key: {
+                    "count": int(stats[0]),
+                    "sum": stats[1],
+                    "min": stats[2],
+                    "max": stats[3],
+                    "mean": stats[1] / stats[0] if stats[0] else 0.0,
+                }
+                for key, stats in sorted(histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_counters(
+        cls, counters: Mapping[str, Number], prefix: str = ""
+    ) -> "MetricsRegistry":
+        registry = cls()
+        registry.absorb_counters(counters, prefix=prefix)
+        return registry
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -131,10 +131,23 @@ class TestLatencyStats:
         assert stats.count() == 5
 
     def test_empty_stats(self):
+        # mean/percentile on an empty sample set used to silently return
+        # 0.0 — indistinguishable from a real zero-latency measurement.
+        # They now raise; cdf() stays [] (an empty curve is well-defined).
         stats = LatencyStats()
-        assert stats.mean() == 0.0
-        assert stats.percentile(0.5) == 0.0
+        with pytest.raises(ValueError, match="empty sample set"):
+            stats.mean()
+        with pytest.raises(ValueError, match="empty sample set"):
+            stats.percentile(0.5)
         assert stats.cdf() == []
+
+    def test_percentile_fraction_out_of_range(self):
+        stats = LatencyStats()
+        stats.extend([0.1, 0.2])
+        with pytest.raises(ValueError, match="fraction"):
+            stats.percentile(1.5)
+        with pytest.raises(ValueError, match="fraction"):
+            stats.percentile(-0.1)
 
     def test_cdf_points_monotone(self):
         points = cdf_points([0.1, 0.4, 0.4, 0.9], points=10)
