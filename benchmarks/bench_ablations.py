@@ -13,7 +13,7 @@ design decisions:
 
 from __future__ import annotations
 
-from repro.core import ExspanNetwork, ProvenanceMode
+from repro.core import ExspanConfig, ExspanNetwork, ProvenanceMode
 from repro.core.modes import prepare_program
 from repro.net import ring_topology
 from repro.protocols import mincost_program, pathvector_program
@@ -21,7 +21,9 @@ from repro.protocols import mincost_program, pathvector_program
 
 def _maintenance_bytes(mode: ProvenanceMode, size: int = 16, **kwargs) -> int:
     network = ExspanNetwork(
-        ring_topology(size, seed=3), mincost_program(), mode=mode, **kwargs
+        ring_topology(size, seed=3),
+        mincost_program(),
+        config=ExspanConfig(mode=mode, **kwargs),
     )
     network.seed_links()
     network.run_to_fixpoint()
@@ -70,7 +72,9 @@ def test_value_mode_update_propagation_cost(benchmark):
     def run_with_propagation(enabled: bool) -> int:
         prepared = prepare_program(mincost_program(), ProvenanceMode.VALUE)
         network = ExspanNetwork(
-            ring_topology(8, seed=5), mincost_program(), mode=ProvenanceMode.VALUE
+            ring_topology(8, seed=5),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.VALUE),
         )
         for node in network.nodes.values():
             node.engine.annotation_policy.propagate_updates = enabled

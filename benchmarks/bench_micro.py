@@ -8,7 +8,15 @@ underlying engines visible independently of the end-to-end experiments.
 
 from __future__ import annotations
 
-from repro.core import BddManager, ExspanNetwork, ProvenanceMode, polynomial_query, rewrite_program
+from repro.core import (
+    BddManager,
+    ExspanConfig,
+    ExspanNetwork,
+    ProvenanceMode,
+    QueryRequest,
+    polynomial_query,
+    rewrite_program,
+)
 from repro.datalog import Fact, StandaloneNetwork, parse_program
 from repro.net import ring_topology
 from repro.protocols import MINCOST_SOURCE, mincost_program
@@ -44,7 +52,9 @@ def test_simulated_reference_fixpoint(benchmark):
 
     def run() -> int:
         network = ExspanNetwork(
-            ring_topology(12, seed=1), mincost_program(), mode=ProvenanceMode.REFERENCE
+            ring_topology(12, seed=1),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -56,16 +66,18 @@ def test_simulated_reference_fixpoint(benchmark):
 
 def test_single_polynomial_query(benchmark):
     network = ExspanNetwork(
-        ring_topology(12, seed=1), mincost_program(), mode=ProvenanceMode.REFERENCE
+        ring_topology(12, seed=1),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()
     _, fact = network.random_tuple("bestPathCost")
     spec = polynomial_query(name="bench-poly")
-    network.register_query_spec(spec)
+    network.register_spec(spec)
 
     def run():
-        return network.query_provenance(fact, "bench-poly")
+        return network.execute(QueryRequest(fact=fact, spec="bench-poly"))
 
     outcome = benchmark(run)
     assert outcome.result is not None

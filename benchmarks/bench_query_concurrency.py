@@ -31,7 +31,7 @@ import sys
 import time
 from typing import Dict, List, Tuple
 
-from repro.core import ExspanNetwork, ProvenanceMode, derivation_count_query
+from repro.core import ExspanConfig, ExspanNetwork, ProvenanceMode, derivation_count_query
 from repro.experiments.workloads import BurstQueryWorkload
 from repro.net import grid_topology, ring_topology
 from repro.protocols import mincost_program
@@ -61,9 +61,11 @@ def _build(topology: str, size: int, config: str) -> ExspanNetwork:
     network = ExspanNetwork(
         topo,
         mincost_program(),
-        mode=ProvenanceMode.REFERENCE,
-        query_coalescing=coalescing,
-        query_batching=batching,
+        config=ExspanConfig(
+            mode=ProvenanceMode.REFERENCE,
+            query_coalescing=coalescing,
+            query_batching=batching,
+        ),
     )
     network.seed_links()
     network.run_to_fixpoint()

@@ -40,6 +40,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.api import ExspanNetwork
+from repro.core.config import ExspanConfig
 from repro.core.modes import ProvenanceMode
 from repro.experiments.trials import MODE_KEYS, PROGRAM_FACTORIES, scale_topology
 from repro.net.sharding import ShardedExspanNetwork, collect_digest, collect_summary
@@ -66,7 +67,9 @@ def run_once(
     started = time.perf_counter()
     if shards <= 1:
         network = ExspanNetwork(
-            topology, program_factory(), mode=MODE_KEYS[mode], seed=seed
+            topology,
+            program_factory(),
+            config=ExspanConfig(mode=MODE_KEYS[mode], seed=seed),
         )
         network.seed_links()
         network.run_to_fixpoint()

@@ -19,8 +19,10 @@ Run with::
 from __future__ import annotations
 
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     ProvenanceMode,
+    QueryRequest,
     count_derivations,
     node_set_query,
     polynomial_query,
@@ -42,7 +44,9 @@ def main() -> None:
     # of 3 nodes each per transit node (40 nodes total).
     topology = transit_stub_topology(domains=1, nodes_per_stub=3, seed=7)
     program = pathvector_program().extended(packetforward_program(), "pv+fwd")
-    network = ExspanNetwork(topology, program, mode=ProvenanceMode.REFERENCE)
+    network = ExspanNetwork(
+        topology, program, config=ExspanConfig(mode=ProvenanceMode.REFERENCE)
+    )
     network.seed_links()
     network.run_to_fixpoint()
     print(f"{topology.node_count()} nodes, {topology.link_count()} links; "
@@ -65,8 +69,12 @@ def main() -> None:
 
     # Why does this route exist?  Query its provenance.
     route_fact = Fact("bestPath", route)
-    explanation = network.query_provenance(route_fact, polynomial_query(name="explain"))
-    participants = network.query_provenance(route_fact, node_set_query(name="who"))
+    explanation = network.execute(
+        QueryRequest(fact=route_fact, spec=polynomial_query(name="explain"))
+    )
+    participants = network.execute(
+        QueryRequest(fact=route_fact, spec=node_set_query(name="who"))
+    )
     print("\nWhy does this route exist?")
     print(f"  base links involved : {sorted(set(explanation.result.literals()))}")
     print(f"  nodes involved      : {sorted(participants.result)}")
@@ -83,8 +91,8 @@ def main() -> None:
         print("No alternative route exists - the stub is disconnected.")
         return
     print(f"New route: {' -> '.join(new_route[3])} (cost {new_route[2]})")
-    diagnosis = network.query_provenance(
-        Fact("bestPath", new_route), node_set_query(name="who2")
+    diagnosis = network.execute(
+        QueryRequest(fact=Fact("bestPath", new_route), spec=node_set_query(name="who2"))
     )
     print(f"Nodes responsible for the new route: {sorted(diagnosis.result)}")
     print(f"\nTotal maintenance traffic: {network.maintenance_bytes() / 1e3:.1f} KB, "

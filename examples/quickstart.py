@@ -13,10 +13,12 @@ Run with::
 from __future__ import annotations
 
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     Granularity,
     GranularitySpec,
     ProvenanceMode,
+    QueryRequest,
     bdd_query,
     count_derivations,
     derivation_count_query,
@@ -50,7 +52,9 @@ def main() -> None:
     # 1. Build a provenance-aware network: the program is automatically
     #    rewritten (Algorithm 1) so every node maintains prov / ruleExec.
     network = ExspanNetwork(
-        build_figure3_topology(), mincost_program(), mode=ProvenanceMode.REFERENCE
+        build_figure3_topology(),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     fixpoint = network.run_to_fixpoint()
@@ -62,22 +66,26 @@ def main() -> None:
 
     # 2. Query the provenance of bestPathCost(@a,c,5) — the paper's Figure 5.
     best_ac = Fact("bestPathCost", ("a", "c", 5))
-    polynomial = network.query_provenance(best_ac, polynomial_query(name="poly"))
+    polynomial = network.execute(QueryRequest(fact=best_ac, spec=polynomial_query(name="poly")))
     print("Provenance polynomial of bestPathCost(@a,c,5):")
     print(f"  {polynomial.result}")
     print(f"  derivations: {count_derivations(polynomial.result)}, "
           f"query latency {polynomial.latency * 1000:.1f} ms\n")
 
     # 3. Other customizations: node set, derivation count, condensed BDD.
-    nodes = network.query_provenance(best_ac, node_set_query(name="nodes"))
+    nodes = network.execute(QueryRequest(fact=best_ac, spec=node_set_query(name="nodes")))
     print(f"Nodes involved in the derivation: {sorted(nodes.result)}")
 
-    count = network.query_provenance(best_ac, derivation_count_query(name="count"))
+    count = network.execute(
+        QueryRequest(fact=best_ac, spec=derivation_count_query(name="count"))
+    )
     print(f"#DERIVATIONS: {count.result}")
 
-    node_level = network.query_provenance(
-        best_ac,
-        bdd_query(name="bdd", granularity=GranularitySpec(Granularity.NODE)),
+    node_level = network.execute(
+        QueryRequest(
+            fact=best_ac,
+            spec=bdd_query(name="bdd", granularity=GranularitySpec(Granularity.NODE)),
+        )
     )
     print("Node-level absorption provenance (BDD support): "
           f"{sorted(node_level.result.support())}  "
@@ -87,7 +95,7 @@ def main() -> None:
     print("Deleting link a-c ...")
     network.remove_link("a", "c")
     network.run_to_fixpoint()
-    after = network.query_provenance(best_ac, polynomial_query(name="poly2"))
+    after = network.execute(QueryRequest(fact=best_ac, spec=polynomial_query(name="poly2")))
     print("Provenance after deletion (only the path through b remains):")
     print(f"  {after.result}")
 

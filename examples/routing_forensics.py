@@ -19,8 +19,10 @@ Run with::
 from __future__ import annotations
 
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     ProvenanceMode,
+    QueryRequest,
     TraversalOrder,
     bdd_query,
     derivation_count_query,
@@ -33,13 +35,15 @@ from repro.protocols import mincost_program
 
 def measure(network: ExspanNetwork, fact: Fact, spec) -> tuple:
     network.stats.reset()
-    outcome = network.query_provenance(fact, spec)
-    return outcome, network.query_bytes(), network.stats.total_messages(["prov"])
+    result = network.execute(QueryRequest(fact=fact, spec=spec))
+    return result, network.query_bytes(), network.stats.total_messages(["prov"])
 
 
 def main() -> None:
     network = ExspanNetwork(
-        grid_topology(5, 5), mincost_program(), mode=ProvenanceMode.REFERENCE
+        grid_topology(5, 5),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()
@@ -47,7 +51,9 @@ def main() -> None:
 
     # The corner-to-corner entry has many equal-cost shortest paths.
     target = Fact("bestPathCost", ("g0_0", "g4_4", 8))
-    exact = network.query_provenance(target, derivation_count_query(name="exact"))
+    exact = network.execute(
+        QueryRequest(fact=target, spec=derivation_count_query(name="exact"))
+    )
     print(f"\nbestPathCost(g0_0, g4_4, 8) has {exact.result} alternative derivations")
 
     # --- traversal orders for the threshold query "more than 3 derivations?"
@@ -93,13 +99,15 @@ def main() -> None:
     refreshed, bytes_after, msgs_after = measure(
         network, Fact("bestPathCost", ("g0_0", "g4_4", 8)), cached
     )
-    outcome = network.query_provenance(
-        Fact("bestPathCost", ("g0_0", "g4_4", 8)),
-        derivation_count_query(name="after"),
+    result = network.execute(
+        QueryRequest(
+            fact=Fact("bestPathCost", ("g0_0", "g4_4", 8)),
+            spec=derivation_count_query(name="after"),
+        )
     )
     print(
         f"After invalidation: {msgs_after} messages / {bytes_after} bytes, "
-        f"derivations now {outcome.result}"
+        f"derivations now {result.result}"
     )
 
 

@@ -17,10 +17,12 @@ Run with::
 from __future__ import annotations
 
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     Granularity,
     GranularitySpec,
     ProvenanceMode,
+    QueryRequest,
     derivability_query,
     node_set_query,
     polynomial_query,
@@ -34,7 +36,9 @@ from repro.protocols import mincost_program
 def main() -> None:
     # Two domains, scaled down to 2-node stubs: ~56 nodes in total.
     topology = transit_stub_topology(domains=2, nodes_per_stub=2, seed=11)
-    network = ExspanNetwork(topology, mincost_program(), mode=ProvenanceMode.REFERENCE)
+    network = ExspanNetwork(
+        topology, mincost_program(), config=ExspanConfig(mode=ProvenanceMode.REFERENCE)
+    )
     network.seed_links()
     network.run_to_fixpoint()
     domain_of = prefix_domain_map()
@@ -45,8 +49,11 @@ def main() -> None:
     cross_domain = None
     for _, row in network.tuples("bestPathCost"):
         if domain_of(row[0]).lstrip("st") != domain_of(row[1]).lstrip("st"):
-            participants = network.query_provenance(
-                Fact("bestPathCost", row), node_set_query(name="participants")
+            participants = network.execute(
+                QueryRequest(
+                    fact=Fact("bestPathCost", row),
+                    spec=node_set_query(name="participants"),
+                )
             ).result
             if len({domain_of(node) for node in participants}) > 1:
                 cross_domain = row
@@ -59,14 +66,19 @@ def main() -> None:
     domain_granularity = GranularitySpec(Granularity.TRUST_DOMAIN, domain_of=domain_of)
 
     # Who was involved, at node and at domain granularity?
-    nodes_involved = network.query_provenance(fact, node_set_query(name="who")).result
+    nodes_involved = network.execute(
+        QueryRequest(fact=fact, spec=node_set_query(name="who"))
+    ).result
     domains_involved = sorted({domain_of(node) for node in nodes_involved})
     print(f"Nodes involved   : {sorted(nodes_involved)}")
     print(f"Domains involved : {domains_involved}")
 
     # Node-level provenance polynomial (the paper's <a + a*b> style).
-    node_level = network.query_provenance(
-        fact, polynomial_query(name="node-poly", granularity=node_granularity)
+    node_level = network.execute(
+        QueryRequest(
+            fact=fact,
+            spec=polynomial_query(name="node-poly", granularity=node_granularity),
+        )
     )
     print(f"Node-level provenance polynomial:\n  {node_level.result}")
 
@@ -78,23 +90,29 @@ def main() -> None:
          {str(node) for node in nodes_involved if domain_of(node).endswith("0")}),
         ("trust nobody", set()),
     ]:
-        verdict = network.query_provenance(
-            fact,
-            derivability_query(
-                name=f"policy-{len(trusted)}",
-                trusted=trusted,
-                granularity=node_granularity,
-            ),
+        verdict = network.execute(
+            QueryRequest(
+                fact=fact,
+                spec=derivability_query(
+                    name=f"policy-{len(trusted)}",
+                    trusted=trusted,
+                    granularity=node_granularity,
+                ),
+            )
         )
         print(f"  {label:<40s} -> {'ACCEPT' if verdict.result else 'REJECT'}")
 
     # Domain-level check: is the entry derivable using only domain-0 parties?
     domain_zero = [domain for domain in domains_involved if domain.endswith("0")]
-    verdict = network.query_provenance(
-        fact,
-        derivability_query(
-            name="domain-policy", trusted=domain_zero, granularity=domain_granularity
-        ),
+    verdict = network.execute(
+        QueryRequest(
+            fact=fact,
+            spec=derivability_query(
+                name="domain-policy",
+                trusted=domain_zero,
+                granularity=domain_granularity,
+            ),
+        )
     )
     print(f"\nDerivable inside domains {domain_zero} only? "
           f"{'yes' if verdict.result else 'no'}")

@@ -13,6 +13,7 @@ facade tying everything to the simulated network.
 from .api import DELTA_MESSAGE_KIND, ExspanNetwork, ExspanNode
 from .bdd import Bdd, BddManager
 from .cache import QueryResultCache
+from .config import ExspanConfig
 from .customizations import (
     bdd_query,
     derivability_query,
@@ -44,6 +45,7 @@ from .query import (
     QuerySpec,
     TraversalOrder,
 )
+from .requests import QueryRequest, QueryResult, SpecDescriptor
 from .rewrite import PROV_TABLE, RULE_EXEC_TABLE, ProvenanceRewriter, rewrite_program
 from .semiring import (
     EMPTY,
@@ -64,8 +66,12 @@ from .vid import NULL_RID, fact_vid, rule_rid, tuple_vid
 
 __all__ = [
     "DELTA_MESSAGE_KIND",
+    "ExspanConfig",
     "ExspanNetwork",
     "ExspanNode",
+    "QueryRequest",
+    "QueryResult",
+    "SpecDescriptor",
     "Bdd",
     "BddManager",
     "QueryResultCache",

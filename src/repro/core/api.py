@@ -15,17 +15,30 @@
 Typical usage (see ``examples/quickstart.py``)::
 
     topology = ring_topology(20, seed=1)
-    net = ExspanNetwork(topology, mincost_program(), mode=ProvenanceMode.REFERENCE)
+    net = ExspanNetwork(topology, mincost_program(),
+                        config=ExspanConfig(mode=ProvenanceMode.REFERENCE))
     net.seed_links()
     net.run_to_fixpoint()
-    outcome = net.query_provenance(Fact("bestPathCost", ("n0", "n5", 3)),
-                                   spec=polynomial_query())
-    print(outcome.result)
+    answer = net.execute(QueryRequest(fact=Fact("bestPathCost", ("n0", "n5", 3)),
+                                      spec=SpecDescriptor(kind="polynomial")))
+    print(answer.result)
+
+Construction knobs live in one validated, frozen
+:class:`~repro.core.config.ExspanConfig`; the historical keyword sprawl
+(``mode=``, ``planner=``, ``query_cache_capacity=``, ...) still works
+through a deprecation shim that assembles the equivalent config.
+Provenance queries go through the one typed request/response entry point
+(:meth:`ExspanNetwork.execute` / :meth:`ExspanNetwork.submit`, both taking
+a :class:`~repro.core.requests.QueryRequest`); the older
+``register_query_spec`` / ``issue_query`` / ``query_provenance`` trio is
+deprecated and forwards to the same machinery.
 """
 
 from __future__ import annotations
 
+import copy
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -38,10 +51,12 @@ from ..net.network import Network
 from ..net.simulator import Simulator
 from ..net.topology import LinkSpec, Topology
 from ..obs import runtime as obs_runtime
+from .config import ExspanConfig
 from .errors import ProvenanceError, QueryTimeoutError
 from .modes import PreparedProgram, ProvenanceMode, prepare_program
 from .provenance_graph import ProvenanceGraph, build_global_graph
 from .query import ProvenanceQueryService, QueryOutcome, QuerySpec
+from .requests import QueryRequest, QueryResult, SpecDescriptor
 from .storage import ProvenanceStore
 from .vid import fact_vid
 
@@ -68,60 +83,76 @@ class ExspanNetwork:
         self,
         topology: Topology,
         program: Program,
-        mode: ProvenanceMode = ProvenanceMode.REFERENCE,
-        collector: Optional[Any] = None,
-        value_policy: str = "bdd",
-        link_cost: int = 1,
-        seed: int = 0,
-        planner: Optional[str] = None,
-        pipeline: Optional[str] = None,
-        query_cache_capacity: Optional[int] = None,
-        query_coalescing: bool = True,
-        query_batching: bool = True,
-        local_addresses: Optional[Iterable[Any]] = None,
-        shard_map: Optional[Dict[Any, int]] = None,
-        compact_min_cancelled: Optional[int] = None,
-        compact_ratio: Optional[float] = None,
+        config: Optional[ExspanConfig] = None,
+        *,
         tracer: Any = None,
-        traffic_record_cap: Optional[int] = None,
+        **legacy_kwargs: Any,
     ):
-        """``local_addresses``/``shard_map`` configure this instance as one
-        shard of a larger simulation (see :mod:`repro.net.sharding`): hosts
-        and engines exist only for the local addresses, and messages for
-        remote nodes are parked on ``network.outbound`` for the barrier
-        protocol.  ``compact_min_cancelled``/``compact_ratio`` tune the
-        simulator's heap compaction for huge sharded runs.
+        """Build a network from *topology*, *program* and one *config*.
 
-        ``tracer`` installs an observability tracer across the simulator,
-        every engine and every query service; when ``None`` and a
-        process-wide trace session is active (see
+        ``config`` carries every construction knob (see
+        :class:`~repro.core.config.ExspanConfig`); omitting it uses the
+        documented defaults.  The pre-config keyword surface (``mode=``,
+        ``planner=``, ``query_cache_capacity=``, ``local_addresses=``,
+        ...) still works through a deprecation shim that assembles the
+        equivalent config — construction through either path is
+        bit-identical.
+
+        ``tracer`` stays a direct keyword because it is runtime wiring,
+        not configuration: it installs an observability tracer across the
+        simulator, every engine and every query service.  When ``None``
+        and a process-wide trace session is active (see
         :func:`repro.obs.runtime.enable_tracing`) one is registered
         automatically.  Tracing never perturbs results: fixpoints, VIDs,
         counters and traffic bytes are identical with it on or off.
-        ``traffic_record_cap`` enables the bounded traffic-statistics mode
-        (exact aggregates, capped raw message history)."""
+        """
+        if isinstance(config, ProvenanceMode):
+            # Positional legacy form: ExspanNetwork(topology, program, mode).
+            legacy_kwargs["mode"] = config
+            config = None
+        if legacy_kwargs:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=ExspanConfig(...) or legacy keyword "
+                    f"arguments, not both (got {sorted(legacy_kwargs)})"
+                )
+            unknown = sorted(set(legacy_kwargs) - set(ExspanConfig.field_names()))
+            if unknown:
+                raise TypeError(f"unknown ExspanNetwork arguments: {unknown}")
+            warnings.warn(
+                "constructing ExspanNetwork from individual keyword arguments "
+                f"({sorted(legacy_kwargs)}) is deprecated; pass "
+                "config=ExspanConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ExspanConfig(**legacy_kwargs)
+        elif config is None:
+            config = ExspanConfig()
+        self.config = config
         self.topology = topology
-        self.mode = mode
-        self.link_cost = link_cost
-        self.planner = planner
-        self.pipeline = pipeline
-        self.query_cache_capacity = query_cache_capacity
-        self.query_coalescing = query_coalescing
-        self.query_batching = query_batching
-        self._rng = random.Random(seed)
-        if mode is ProvenanceMode.CENTRALIZED and collector is None:
+        self.mode = config.mode
+        self.link_cost = config.link_cost
+        self.planner = config.planner
+        self.pipeline = config.pipeline
+        self.query_cache_capacity = config.query_cache_capacity
+        self.query_coalescing = config.query_coalescing
+        self.query_batching = config.query_batching
+        self._rng = random.Random(config.seed)
+        collector = config.collector
+        if config.mode is ProvenanceMode.CENTRALIZED and collector is None:
             collector = topology.nodes[0]
         self.collector = collector
         self.prepared: PreparedProgram = prepare_program(
-            program, mode, collector=collector, value_policy=value_policy
+            program, config.mode, collector=collector, value_policy=config.value_policy
         )
         self.network = Network(
             topology,
-            local_nodes=local_addresses,
-            shard_map=shard_map,
-            compact_min_cancelled=compact_min_cancelled,
-            compact_ratio=compact_ratio,
-            traffic_record_cap=traffic_record_cap,
+            local_nodes=config.local_addresses,
+            shard_map=config.shard_map,
+            compact_min_cancelled=config.compact_min_cancelled,
+            compact_ratio=config.compact_ratio,
+            traffic_record_cap=config.traffic_record_cap,
         )
         self.simulator: Simulator = self.network.simulator
         if tracer is None:
@@ -132,8 +163,16 @@ class ExspanNetwork:
         if tracer is not None:
             tracer.set_clock(lambda: self.simulator.now)
             self.simulator.tracer = tracer
+        #: Specs built from :class:`SpecDescriptor`, keyed by canonical
+        #: name, so repeated requests reuse one live spec (and one BDD
+        #: manager / cache namespace) instead of rebuilding per query.
+        self._descriptor_specs: Dict[str, QuerySpec] = {}
         self.nodes: Dict[Any, ExspanNode] = {}
-        members = topology.nodes if local_addresses is None else list(local_addresses)
+        members = (
+            topology.nodes
+            if config.local_addresses is None
+            else list(config.local_addresses)
+        )
         for address in members:
             self.nodes[address] = self._build_node(address)
 
@@ -317,12 +356,108 @@ class ExspanNetwork:
         return self.simulator.now
 
     # ------------------------------------------------------------------ #
-    # provenance queries
+    # provenance queries — the unified request/response API
     # ------------------------------------------------------------------ #
-    def register_query_spec(self, spec: QuerySpec) -> None:
-        """Install a query customization on every node."""
+    def register_spec(self, spec: Union[QuerySpec, SpecDescriptor]) -> str:
+        """Install a query customization on every node; returns its name.
+
+        Accepts a live :class:`QuerySpec` or a declarative
+        :class:`SpecDescriptor` (built once and memoized by canonical
+        name, so repeated registration of an equal descriptor reuses the
+        same live spec).
+        """
+        if isinstance(spec, SpecDescriptor):
+            name = spec.canonical_name
+            built = self._descriptor_specs.get(name)
+            if built is None:
+                built = spec.build()
+                self._descriptor_specs[name] = built
+            spec = built
         for node in self.nodes.values():
             node.query_service.register_spec(spec)
+        return spec.name
+
+    def spec_names(self) -> List[str]:
+        """Names of every registered query spec (sorted)."""
+        names: set = set()
+        for node in self.nodes.values():
+            names.update(node.query_service.spec_names())
+        return sorted(names)
+
+    def predicates(self) -> List[str]:
+        """All table names known to any node's engine (sorted)."""
+        names: set = set()
+        for node in self.nodes.values():
+            names.update(node.engine.catalog.names())
+        return sorted(names)
+
+    def submit(
+        self,
+        request: QueryRequest,
+        on_complete: Callable[[QueryResult], None],
+    ) -> str:
+        """Asynchronously issue *request*; returns the engine query id.
+
+        ``on_complete`` receives the typed :class:`QueryResult` once the
+        distributed resolution finishes (drive the simulator to make that
+        happen).  ``target`` defaults to the node named by the fact's
+        location specifier (where the tuple and its ``prov`` entries
+        live); ``issuer`` defaults to the target itself.
+        """
+        spec_name = self._ensure_spec(request.spec)
+        fact = request.fact
+        target_node = request.target if request.target is not None else fact.location
+        issuer_node = request.issuer if request.issuer is not None else target_node
+        service = self.node(issuer_node).query_service
+
+        def finish(outcome: QueryOutcome) -> None:
+            on_complete(QueryResult.from_outcome(outcome, request, spec_name))
+
+        return service.query(fact_vid(fact), target_node, spec_name, finish)
+
+    def execute(
+        self, request: QueryRequest, max_events: Optional[int] = None
+    ) -> QueryResult:
+        """Issue *request* and run the simulation until it completes.
+
+        The single synchronous entry point shared by in-process callers,
+        the experiment trials, the wire-protocol service and the shell.
+        """
+        results: List[QueryResult] = []
+        tracer = self.tracer
+        if tracer is None:
+            self.submit(request, results.append)
+            self.simulator.run_until_idle(max_events=max_events)
+        else:
+            with tracer.span(
+                "api.execute", cat="api", spec=request.spec_name
+            ) as span:
+                self.submit(request, results.append)
+                self.simulator.run_until_idle(max_events=max_events)
+                span.add(completed=bool(results))
+        if not results:
+            raise QueryTimeoutError(
+                f"provenance query for {request.fact} did not complete"
+            )
+        return results[0]
+
+    def _ensure_spec(self, spec: Union[QuerySpec, SpecDescriptor, str]) -> str:
+        if isinstance(spec, str):
+            return spec
+        return self.register_spec(spec)
+
+    # ------------------------------------------------------------------ #
+    # provenance queries — deprecated pre-request-API surface
+    # ------------------------------------------------------------------ #
+    def register_query_spec(self, spec: QuerySpec) -> None:
+        """Deprecated: use :meth:`register_spec`."""
+        warnings.warn(
+            "ExspanNetwork.register_query_spec is deprecated; use "
+            "register_spec (or pass the spec on a QueryRequest)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.register_spec(spec)
 
     def issue_query(
         self,
@@ -332,12 +467,17 @@ class ExspanNetwork:
         target: Optional[Any] = None,
         on_complete: Optional[Callable[[QueryOutcome], None]] = None,
     ) -> str:
-        """Asynchronously issue a provenance query for *fact*.
+        """Deprecated: use :meth:`submit` with a :class:`QueryRequest`.
 
-        ``target`` defaults to the node named by the fact's location
-        specifier (where the tuple and its ``prov`` entries live);
-        ``issuer`` defaults to the target itself.
+        The callback keeps receiving the raw :class:`QueryOutcome` for
+        compatibility.
         """
+        warnings.warn(
+            "ExspanNetwork.issue_query is deprecated; use "
+            "submit(QueryRequest(...), on_complete)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         spec_name = self._ensure_spec(spec)
         target_node = target if target is not None else fact.location
         issuer_node = issuer if issuer is not None else target_node
@@ -353,10 +493,28 @@ class ExspanNetwork:
         target: Optional[Any] = None,
         max_events: Optional[int] = None,
     ) -> QueryOutcome:
-        """Issue a provenance query and run the simulation until it completes."""
+        """Deprecated: use :meth:`execute` with a :class:`QueryRequest`.
+
+        Returns the raw :class:`QueryOutcome` for compatibility; the
+        result value is identical to ``execute(...).result``.
+        """
+        warnings.warn(
+            "ExspanNetwork.query_provenance is deprecated; use "
+            "execute(QueryRequest(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        request = QueryRequest(fact=fact, spec=spec, issuer=issuer, target=target)
+        spec_name = self._ensure_spec(request.spec)
         outcomes: List[QueryOutcome] = []
-        self.issue_query(
-            fact, spec, issuer=issuer, target=target, on_complete=outcomes.append
+        service_issuer = (
+            request.issuer
+            if request.issuer is not None
+            else (request.target if request.target is not None else fact.location)
+        )
+        target_node = request.target if request.target is not None else fact.location
+        self.node(service_issuer).query_service.query(
+            fact_vid(fact), target_node, spec_name, outcomes.append
         )
         self.simulator.run_until_idle(max_events=max_events)
         if not outcomes:
@@ -365,18 +523,27 @@ class ExspanNetwork:
             )
         return outcomes[0]
 
-    def _ensure_spec(self, spec: Union[QuerySpec, str]) -> str:
-        if isinstance(spec, str):
-            return spec
-        self.register_query_spec(spec)
-        return spec.name
-
     # ------------------------------------------------------------------ #
     # analysis / statistics
     # ------------------------------------------------------------------ #
     @property
     def stats(self):
+        """The live :class:`~repro.net.stats.TrafficStats` collector.
+
+        Internal consumers (trials, benchmarks) use this for ``reset()``
+        and the record-shaped views; anything crossing a trust boundary
+        should use :meth:`stats_snapshot` instead.
+        """
         return self.network.stats
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Deep-copied, JSON-able traffic statistics.
+
+        Unlike the live :attr:`stats` collector, mutating the returned
+        dict can never corrupt the network's counters — this is what the
+        query service serves to remote clients polling ``stats``.
+        """
+        return copy.deepcopy(self.network.stats.snapshot())
 
     def maintenance_bytes(self) -> int:
         """Bytes spent maintaining the protocol (and its provenance)."""
@@ -465,4 +632,6 @@ class ExspanNetwork:
             registry.inc("net.bytes", size, kind=kind)
         registry.set_gauge("sim.now", self.simulator.now)
         registry.set_gauge("sim.events_executed", self.simulator.events_executed)
-        return registry.snapshot()
+        # Deep copy so a service client polling metrics can never reach the
+        # registry's internals through shared sub-dicts.
+        return copy.deepcopy(registry.snapshot())

@@ -202,6 +202,60 @@ class ProvenanceGraph:
         lines.append("}")
         return "\n".join(lines)
 
+    def to_text_tree(self, root: str, max_depth: int = 8) -> str:
+        """Pretty-print the derivation tree under *root* as indented text.
+
+        The operator-shell rendering of ``\\prov``: tuple vertices show
+        their fact label and location, rule vertices the rule and where it
+        fired.  Revisited tuples print as a back-reference instead of
+        re-expanding (the graph is a DAG, the rendering is a tree), and
+        ``max_depth`` bounds the expansion of deep derivations.  Output is
+        deterministic: children follow the stored derivation order.
+        """
+        vertex = self.tuples.get(root)
+        if vertex is None:
+            return f"(no provenance recorded for {root[:10]})"
+        lines: List[str] = []
+        expanded: Set[str] = set()
+
+        def visit_tuple(vid: str, prefix: str, tail: bool, depth: int) -> None:
+            vertex = self.tuples.get(vid)
+            branch = "" if not prefix and not lines else ("`- " if tail else "|- ")
+            indent = prefix + branch
+            child_prefix = prefix + ("   " if tail else "|  ") if branch else prefix
+            if vertex is None:
+                lines.append(f"{indent}{vid[:10]} (remote / unknown)")
+                return
+            marker = " [base]" if vertex.is_base else ""
+            label = f"{vertex.label()} @{vertex.location}{marker}"
+            if vid in expanded and vertex.derivations:
+                lines.append(f"{indent}{label} (see above)")
+                return
+            expanded.add(vid)
+            lines.append(f"{indent}{label}")
+            if depth >= max_depth:
+                if vertex.derivations:
+                    lines.append(f"{child_prefix}`- ... (max depth {max_depth})")
+                return
+            rules = [rid for rid in vertex.derivations if rid in self.rules]
+            for index, rid in enumerate(rules):
+                rule = self.rules[rid]
+                last = index == len(rules) - 1
+                rule_branch = "`- " if last else "|- "
+                lines.append(f"{child_prefix}{rule_branch}rule {rule.label()}")
+                rule_prefix = child_prefix + ("   " if last else "|  ")
+                inputs = list(rule.input_vids)
+                for child_index, child in enumerate(inputs):
+                    visit_tuple(
+                        child,
+                        rule_prefix,
+                        child_index == len(inputs) - 1,
+                        depth + 1,
+                    )
+
+        visit_tuple(root, "", True, 0)
+        return "\n".join(lines)
+
     def _subgraph(self, root: str) -> Tuple[Set[str], Set[str]]:
         keep_tuples: Set[str] = set()
         keep_rules: Set[str] = set()

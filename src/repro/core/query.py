@@ -305,6 +305,10 @@ class ProvenanceQueryService:
                 f"node {self.node!r} has no registered query spec {name!r}"
             ) from None
 
+    def spec_names(self) -> List[str]:
+        """Names of every registered query spec (sorted; shell completion)."""
+        return sorted(self._specs)
+
     # ------------------------------------------------------------------ #
     # public query API
     # ------------------------------------------------------------------ #

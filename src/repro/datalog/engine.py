@@ -339,18 +339,26 @@ class NDlogEngine:
         """Render the compiled evaluation plans (``EXPLAIN`` for NDlog).
 
         Returns the plans of every (rule, delta position) pair, or just the
-        rule named by *label*.  Only available with ``planner="greedy"``.
+        rule named by *label*.  A label with no exact match falls back to
+        prefix matching (``label_*``) so asking for a source rule like
+        ``sp1`` shows its provenance-rewritten variants (``sp1_phead``,
+        ``sp1_pexec``, ...).  Only available with ``planner="greedy"``.
         """
         if self.planner != "greedy":
             return f"planner={self.planner!r}: no compiled plans (nested-loop joins)"
-        plans = sorted(
-            (
-                plan
-                for plan in self._plans.values()
-                if label is None or plan.rule.label == label
-            ),
-            key=lambda plan: (plan.rule.label, plan.trigger_position),
-        )
+
+        def matching(predicate) -> List[CompiledDeltaPlan]:
+            return sorted(
+                (plan for plan in self._plans.values() if predicate(plan.rule.label)),
+                key=lambda plan: (plan.rule.label, plan.trigger_position),
+            )
+
+        if label is None:
+            plans = matching(lambda _: True)
+        else:
+            plans = matching(lambda rule_label: rule_label == label)
+            if not plans:
+                plans = matching(lambda rule_label: rule_label.startswith(label + "_"))
         if not plans:
             return f"no compiled plans for rule label {label!r}"
         return explain_plans(plans)

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.api import DELTA_MESSAGE_KIND, ExspanNetwork
+from ..core.config import ExspanConfig
 from ..core.customizations import (
     bdd_query,
     derivation_count_query,
@@ -118,7 +119,11 @@ def build_network(
     ``"naive"``); ``None`` uses the process-wide default, which
     ``repro.experiments.runner --planner`` controls.
     """
-    network = ExspanNetwork(topology, program, mode=mode, seed=seed, planner=planner)
+    network = ExspanNetwork(
+        topology,
+        program,
+        config=ExspanConfig(mode=mode, seed=seed, planner=planner),
+    )
     network.seed_links()
     if run_to_fixpoint:
         network.run_to_fixpoint()
@@ -641,10 +646,12 @@ def query_concurrency_trial(
     network = ExspanNetwork(
         _concurrency_topology(topology, size, seed),
         mincost_program(),
-        mode=ProvenanceMode.REFERENCE,
-        seed=seed,
-        query_coalescing=coalescing,
-        query_batching=batching,
+        config=ExspanConfig(
+            mode=ProvenanceMode.REFERENCE,
+            seed=seed,
+            query_coalescing=coalescing,
+            query_batching=batching,
+        ),
     )
     network.seed_links()
     network.run_to_fixpoint()

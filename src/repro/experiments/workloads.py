@@ -62,7 +62,7 @@ class QueryWorkload:
 
     def schedule(self) -> int:
         """Schedule all queries on the simulator; returns the number scheduled."""
-        self.network.register_query_spec(self.spec)
+        self.network.register_spec(self.spec)
         rng = random.Random(self.seed)
         interval = 1.0 / self.queries_per_second
         scheduled = 0
@@ -173,7 +173,7 @@ class BurstQueryWorkload:
         event and runs the network to idle once; serial mode drains
         between individual queries.
         """
-        self.network.register_query_spec(self.spec)
+        self.network.register_spec(self.spec)
         planned = self.plan()
         simulator = self.network.simulator
         start = self.network.now

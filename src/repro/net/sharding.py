@@ -367,24 +367,28 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
             for node in config.topology.nodes
             if config.assignment[node] == config.shard_id
         ]
+        from ..core.config import ExspanConfig
+
         net = ExspanNetwork(
             config.topology,
             config.program,
-            mode=config.mode,
-            seed=config.seed,
-            link_cost=config.link_cost,
-            value_policy=config.value_policy,
-            planner=config.planner,
-            pipeline=config.pipeline,
-            local_addresses=local,
-            shard_map=config.assignment,
-            compact_min_cancelled=config.compact_min_cancelled,
-            compact_ratio=config.compact_ratio,
+            config=ExspanConfig(
+                mode=config.mode,
+                seed=config.seed,
+                link_cost=config.link_cost,
+                value_policy=config.value_policy,
+                planner=config.planner,
+                pipeline=config.pipeline,
+                local_addresses=tuple(local),
+                shard_map=config.assignment,
+                compact_min_cancelled=config.compact_min_cancelled,
+                compact_ratio=config.compact_ratio,
+                traffic_record_cap=config.traffic_record_cap,
+            ),
             tracer=tracer,
-            traffic_record_cap=config.traffic_record_cap,
         )
         for spec in config.query_specs:
-            net.register_query_spec(spec)
+            net.register_spec(spec)
         outcomes: Dict[str, Dict[str, Any]] = {}
         issued: Dict[Any, int] = {}
 

@@ -206,6 +206,32 @@ class TrafficStats:
             series.append((start + index * bucket, buckets.get(index, 0.0) / denominator))
         return series
 
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep-copied, JSON-able summary of the collector.
+
+        Everything in the returned dict is freshly built — callers (in
+        particular service clients polling ``stats`` over the wire) can
+        mutate it freely without corrupting the live counters.  Exact in
+        both bounded and unbounded modes.
+        """
+        return {
+            "messages_sent": self.messages_sent,
+            "dropped_records": self.dropped_records,
+            "total_bytes": self.total_bytes(),
+            "total_messages": self.total_messages(),
+            "kind_totals": {
+                kind: {"messages": messages, "bytes": size}
+                for kind, (messages, size) in self.kind_totals().items()
+            },
+            "bytes_by_sender": {
+                str(node): size
+                for node, size in sorted(
+                    self.bytes_by_sender().items(), key=lambda item: str(item[0])
+                )
+            },
+            "last_activity_time": self.last_activity_time(),
+        }
+
     def last_activity_time(self, kinds: Optional[Iterable[str]] = None) -> float:
         """Time of the last recorded message (used as fixpoint latency)."""
         if self._kind_totals is not None:

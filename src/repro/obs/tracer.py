@@ -229,6 +229,22 @@ class Tracer:
         self._next_trace += 1
         return f"t{self.shard}.{self._next_trace}"
 
+    def request(
+        self,
+        name: str,
+        cat: str = "service",
+        host: Any = None,
+        **args: Any,
+    ) -> Span:
+        """A context-managed root span in a fresh trace.
+
+        The query service wraps every wire request in one of these, so
+        everything the engine emits while handling the request — query
+        resolution rounds, rule firings, cache probes — nests under one
+        per-request trace id instead of the caller's ambient span stack.
+        """
+        return self._open(name, cat, host, (self.new_trace(), None), args)
+
     # ------------------------------------------------------------------ #
     # record collection
     # ------------------------------------------------------------------ #

@@ -1,0 +1,111 @@
+"""A small synchronous client for the provenance query service.
+
+:class:`ServiceClient` wraps one TCP connection: it reads the server
+greeting, performs the versioned ``hello`` handshake, and then exposes
+request/response as :meth:`call`.  Server-side failures surface as
+:class:`ServiceError` carrying the structured wire error code; transport
+and framing failures raise :class:`~repro.service.protocol.FrameError`.
+
+The client is deliberately synchronous — it serves tests, the shell, and
+scripted drivers, none of which need concurrency inside one connection.
+Concurrency across connections is the server's job.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A structured error frame returned by the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """One handshaked connection to a :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 60.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.max_frame = max_frame
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self.greeting = self._recv()
+            self.hello = self.call("hello", protocol=PROTOCOL_VERSION)
+        except BaseException:
+            self._sock.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # request/response
+    # ------------------------------------------------------------------ #
+    def call(self, op: str, **params: Any) -> Any:
+        """Issue one request and return the ``result`` payload.
+
+        Raises :class:`ServiceError` on an error frame and
+        :class:`FrameError` if the connection breaks mid-exchange.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        send_frame(
+            self._sock,
+            {"id": request_id, "op": op, "params": params},
+            max_frame=self.max_frame,
+        )
+        response = self._recv()
+        if response.get("id") != request_id:
+            raise FrameError(
+                "bad-frame",
+                f"response id {response.get('id')!r} does not match request {request_id}",
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServiceError(
+            str(error.get("code", "internal")), str(error.get("message", "unknown error"))
+        )
+
+    def _recv(self) -> Dict[str, Any]:
+        frame = recv_frame(self._sock, max_frame=self.max_frame)
+        if frame is None:
+            raise FrameError("bad-frame", "server closed the connection")
+        return frame
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown_server(self) -> Any:
+        """Ask the server to drain and stop."""
+        return self.call("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ExspanNetwork, ProvenanceMode
+from repro.core import ExspanConfig, ExspanNetwork, ProvenanceMode
 from repro.datalog import Fact, StandaloneNetwork
 from repro.net import Topology, LinkSpec, ring_topology
 from repro.protocols import mincost_program, pathvector_program
@@ -60,7 +60,9 @@ def figure3_standalone_mincost() -> StandaloneNetwork:
 def figure3_exspan_reference() -> ExspanNetwork:
     """Reference-provenance MINCOST on the Figure 3 topology (simulated)."""
     network = ExspanNetwork(
-        figure3_topology(), mincost_program(), mode=ProvenanceMode.REFERENCE
+        figure3_topology(),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()
@@ -71,7 +73,9 @@ def figure3_exspan_reference() -> ExspanNetwork:
 def small_ring_reference() -> ExspanNetwork:
     """Reference-provenance MINCOST on a 10-node ring (unit link costs)."""
     network = ExspanNetwork(
-        ring_topology(10, seed=7), mincost_program(), mode=ProvenanceMode.REFERENCE
+        ring_topology(10, seed=7),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()
@@ -82,7 +86,9 @@ def small_ring_reference() -> ExspanNetwork:
 def small_ring_pathvector() -> ExspanNetwork:
     """Reference-provenance PATHVECTOR on an 8-node ring."""
     network = ExspanNetwork(
-        ring_topology(8, seed=5), pathvector_program(), mode=ProvenanceMode.REFERENCE
+        ring_topology(8, seed=5),
+        pathvector_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()

@@ -6,6 +6,7 @@ import pytest
 
 from paper_example import FIGURE3_BEST_COSTS, figure3_topology
 from repro.core import (
+    ExspanConfig,
     DELTA_MESSAGE_KIND,
     ExspanNetwork,
     ProvenanceMode,
@@ -74,7 +75,9 @@ class TestQueryResultCache:
 @pytest.fixture
 def reference_network():
     network = ExspanNetwork(
-        figure3_topology(), mincost_program(), mode=ProvenanceMode.REFERENCE
+        figure3_topology(),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()
@@ -187,7 +190,9 @@ class TestExspanNetworkFacade:
 
     def test_centralized_mode_defaults_collector_to_first_node(self):
         network = ExspanNetwork(
-            ring_topology(6, seed=1), mincost_program(), mode=ProvenanceMode.CENTRALIZED
+            ring_topology(6, seed=1),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.CENTRALIZED),
         )
         assert network.collector == network.topology.nodes[0]
         network.seed_links()
@@ -197,7 +202,9 @@ class TestExspanNetworkFacade:
 
     def test_none_mode_has_no_provenance_tables(self):
         network = ExspanNetwork(
-            ring_topology(6, seed=1), mincost_program(), mode=ProvenanceMode.NONE
+            ring_topology(6, seed=1),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.NONE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -205,7 +212,9 @@ class TestExspanNetworkFacade:
 
     def test_value_mode_attaches_annotations(self):
         network = ExspanNetwork(
-            ring_topology(6, seed=1), mincost_program(), mode=ProvenanceMode.VALUE
+            ring_topology(6, seed=1),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.VALUE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -216,7 +225,9 @@ class TestExspanNetworkFacade:
 
     def test_pathvector_on_simulated_network(self):
         network = ExspanNetwork(
-            figure3_topology(), pathvector_program(), mode=ProvenanceMode.REFERENCE
+            figure3_topology(),
+            pathvector_program(),
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()

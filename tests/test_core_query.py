@@ -6,6 +6,7 @@ import pytest
 
 from paper_example import figure3_topology
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     Granularity,
     GranularitySpec,
@@ -30,7 +31,9 @@ from repro.protocols import mincost_program
 @pytest.fixture(scope="module")
 def figure3_network():
     network = ExspanNetwork(
-        figure3_topology(), mincost_program(), mode=ProvenanceMode.REFERENCE
+        figure3_topology(),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()
@@ -40,7 +43,9 @@ def figure3_network():
 @pytest.fixture(scope="module")
 def grid_network():
     network = ExspanNetwork(
-        grid_topology(4, 4), mincost_program(), mode=ProvenanceMode.REFERENCE
+        grid_topology(4, 4),
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
     )
     network.seed_links()
     network.run_to_fixpoint()

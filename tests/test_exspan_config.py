@@ -1,0 +1,124 @@
+"""ExspanConfig validation and the legacy-kwargs deprecation shim.
+
+The consolidation contract: every constructor knob lives on one frozen,
+validated ``ExspanConfig``; old-style keyword construction still works
+through a shim that warns but builds a bit-identical network.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.api import ExspanNetwork
+from repro.core.config import ExspanConfig
+from repro.core.errors import ProvenanceError
+from repro.core.modes import ProvenanceMode
+from repro.net.topology import ring_topology
+from repro.protocols.mincost import mincost_program
+
+
+def _fixpoint_state(network):
+    network.seed_links()
+    network.run_to_fixpoint()
+    return (
+        sorted(map(tuple, (row for _, row in network.tuples("bestPathCost")))),
+        network.stats_snapshot(),
+        network.now,
+    )
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = ExspanConfig()
+        assert config.mode is ProvenanceMode.REFERENCE
+        assert config.seed == 0
+        assert config.query_coalescing is True
+
+    def test_frozen(self):
+        config = ExspanConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 7
+
+    def test_mode_coercion_from_string(self):
+        assert ExspanConfig(mode="none").mode is ProvenanceMode.NONE
+        assert ExspanConfig(mode="ref").mode is ProvenanceMode.REFERENCE
+        assert ExspanConfig(mode="reference").mode is ProvenanceMode.REFERENCE
+        assert ExspanConfig(mode="value").mode is ProvenanceMode.VALUE
+        assert ExspanConfig(mode="centralized").mode is ProvenanceMode.CENTRALIZED
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ProvenanceError):
+            ExspanConfig(mode="bogus")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"link_cost": "cheap"},
+            {"value_policy": "magic"},
+            {"planner": "quantum"},
+            {"pipeline": "hyperloop"},
+            {"query_cache_capacity": -1},
+            {"compact_min_cancelled": -2},
+            {"compact_ratio": 0},
+            {"query_coalescing": "yes"},
+            {"local_addresses": ("n0",)},  # requires shard_map too
+        ],
+    )
+    def test_invalid_combinations_rejected(self, kwargs):
+        with pytest.raises(ProvenanceError):
+            ExspanConfig(**kwargs)
+
+    def test_round_trip_through_dict(self):
+        config = ExspanConfig(mode="value", seed=3, planner="greedy", query_batching=False)
+        clone = ExspanConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ProvenanceError):
+            ExspanConfig.from_dict({"mode": "ref", "warp_drive": True})
+
+    def test_replace(self):
+        config = ExspanConfig(seed=1)
+        assert config.replace(seed=9).seed == 9
+        assert config.seed == 1
+
+
+class TestDeprecationShim:
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="ExspanConfig"):
+            ExspanNetwork(ring_topology(4, seed=0), mincost_program(), seed=0)
+
+    def test_positional_mode_warns(self):
+        with pytest.warns(DeprecationWarning):
+            ExspanNetwork(ring_topology(4, seed=0), mincost_program(), ProvenanceMode.NONE)
+
+    def test_config_plus_kwargs_is_an_error(self):
+        with pytest.raises(TypeError):
+            ExspanNetwork(
+                ring_topology(4, seed=0),
+                mincost_program(),
+                config=ExspanConfig(),
+                seed=1,
+            )
+
+    def test_unknown_kwarg_is_an_error(self):
+        with pytest.raises(TypeError):
+            ExspanNetwork(ring_topology(4, seed=0), mincost_program(), warp_drive=True)
+
+    def test_legacy_construction_bit_identical(self):
+        """Old-kwarg construction must behave exactly like ExspanConfig."""
+        with pytest.warns(DeprecationWarning):
+            legacy = ExspanNetwork(
+                ring_topology(5, seed=0),
+                mincost_program(),
+                mode=ProvenanceMode.REFERENCE,
+                seed=0,
+                planner="greedy",
+            )
+        modern = ExspanNetwork(
+            ring_topology(5, seed=0),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE, seed=0, planner="greedy"),
+        )
+        assert legacy.config == modern.config
+        assert _fixpoint_state(legacy) == _fixpoint_state(modern)

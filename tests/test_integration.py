@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     Granularity,
     GranularitySpec,
@@ -38,7 +39,9 @@ class TestControlAndDataPlaneTogether:
     def network(self):
         program = pathvector_program().extended(packetforward_program(), "pv+fwd")
         network = ExspanNetwork(
-            ring_topology(8, seed=11), program, mode=ProvenanceMode.REFERENCE
+            ring_topology(8, seed=11),
+            program,
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -96,7 +99,7 @@ class TestTrustManagementScenario:
         network = ExspanNetwork(
             transit_stub_topology(domains=1, nodes_per_stub=2, seed=3),
             mincost_program(),
-            mode=ProvenanceMode.REFERENCE,
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -148,7 +151,9 @@ class TestTrustManagementScenario:
 class TestDynamicMaintenance:
     def test_provenance_tracks_topology_changes(self):
         network = ExspanNetwork(
-            grid_topology(3, 3), mincost_program(), mode=ProvenanceMode.REFERENCE
+            grid_topology(3, 3),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -173,7 +178,9 @@ class TestDynamicMaintenance:
 
     def test_consistency_between_graph_and_distributed_queries(self):
         network = ExspanNetwork(
-            ring_topology(8, seed=13), mincost_program(), mode=ProvenanceMode.REFERENCE
+            ring_topology(8, seed=13),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -198,7 +205,7 @@ class TestDynamicMaintenance:
             ProvenanceMode.CENTRALIZED,
         ):
             network = ExspanNetwork(
-                ring_topology(8, seed=21), mincost_program(), mode=mode
+                ring_topology(8, seed=21), mincost_program(), config=ExspanConfig(mode=mode)
             )
             network.seed_links()
             network.run_to_fixpoint()

@@ -19,7 +19,7 @@ import os
 
 import pytest
 
-from repro.core import ExspanNetwork, ProvenanceMode
+from repro.core import ExspanConfig, ExspanNetwork, ProvenanceMode
 from repro.core.customizations import derivation_count_query
 from repro.datalog.ast import Fact
 from repro.net.message import TRACE_CONTEXT_KEY, payload_size
@@ -424,7 +424,9 @@ class TestZeroOverheadStructure:
         assert payload_size(traced) == payload_size(plain)
 
     def test_engine_hot_path_rebinds_only_when_traced(self):
-        net = ExspanNetwork(ring_topology(4, seed=0), mincost_program(), seed=0)
+        net = ExspanNetwork(
+            ring_topology(4, seed=0), mincost_program(), config=ExspanConfig(seed=0)
+        )
         engine = next(iter(net.nodes.values())).engine
         overridden = ("run", "_process_batch", "_fire_rules")
         # Untraced: no instance-dict shadowing, the class methods run bare.
@@ -448,8 +450,7 @@ def _run_workload(tracer=None):
     net = ExspanNetwork(
         cluster_topology(2, 4, seed=3),
         mincost_program(),
-        mode=ProvenanceMode.REFERENCE,
-        seed=0,
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE, seed=0),
         tracer=tracer,
     )
     net.register_query_spec(QUERY_SPEC)
@@ -478,9 +479,9 @@ class TestTracedRunDeterminism:
         bounded_net = ExspanNetwork(
             cluster_topology(2, 4, seed=3),
             mincost_program(),
-            mode=ProvenanceMode.REFERENCE,
-            seed=0,
-            traffic_record_cap=10,
+            config=ExspanConfig(
+                mode=ProvenanceMode.REFERENCE, seed=0, traffic_record_cap=10
+            ),
         )
         bounded_net.register_query_spec(QUERY_SPEC)
         bounded_net.seed_links()

@@ -31,7 +31,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ExspanNetwork, ProvenanceMode, polynomial_query
+from repro.core import ExspanConfig, ExspanNetwork, ProvenanceMode, polynomial_query
 from repro.datalog import Fact, StandaloneNetwork
 from repro.datalog.engine import AnnotationPolicy, NDlogEngine, PIPELINES
 from repro.datalog.parser import parse_program
@@ -139,8 +139,7 @@ class TestProvenanceEquivalence:
             network = ExspanNetwork(
                 ring_topology(8, seed=11),
                 program_factory(),
-                mode=ProvenanceMode.REFERENCE,
-                planner=planner,
+                config=ExspanConfig(mode=ProvenanceMode.REFERENCE, planner=planner),
             )
             network.seed_links()
             network.run_to_fixpoint()
@@ -162,9 +161,11 @@ class TestProvenanceEquivalence:
             network = ExspanNetwork(
                 ring_topology(6, seed=13),
                 mincost_program(),
-                mode=ProvenanceMode.VALUE,
-                value_policy="polynomial",
-                planner=planner,
+                config=ExspanConfig(
+                    mode=ProvenanceMode.VALUE,
+                    value_policy="polynomial",
+                    planner=planner,
+                ),
             )
             network.seed_links()
             network.run_to_fixpoint()
@@ -257,9 +258,7 @@ class TestBatchedPipelineEquivalence:
             network = ExspanNetwork(
                 ring_topology(8, seed=11),
                 mincost_program(),
-                mode=mode,
-                pipeline=pipeline,
-                **kwargs,
+                config=ExspanConfig(mode=mode, pipeline=pipeline, **kwargs),
             )
             network.seed_links()
             network.run_to_fixpoint()

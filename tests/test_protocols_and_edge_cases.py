@@ -6,6 +6,7 @@ import pytest
 
 from paper_example import FIGURE3_NODES, figure3_topology, insert_symmetric_links
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     ProvenanceMode,
     QueryTimeoutError,
@@ -89,7 +90,9 @@ class TestQueryEdgeCases:
     @pytest.fixture(scope="class")
     def network(self):
         network = ExspanNetwork(
-            figure3_topology(), mincost_program(), mode=ProvenanceMode.REFERENCE
+            figure3_topology(),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()
@@ -166,17 +169,20 @@ class TestRunnerCli:
 
 class TestSimulatedNetworkSmallTopologies:
     def test_line_topology_fixpoint_latency_proportional_to_length(self):
-        short = ExspanNetwork(line_topology(3), mincost_program(), mode=ProvenanceMode.NONE)
+        config = ExspanConfig(mode=ProvenanceMode.NONE)
+        short = ExspanNetwork(line_topology(3), mincost_program(), config=config)
         short.seed_links()
         short_time = short.run_to_fixpoint()
-        long = ExspanNetwork(line_topology(7), mincost_program(), mode=ProvenanceMode.NONE)
+        long = ExspanNetwork(line_topology(7), mincost_program(), config=config)
         long.seed_links()
         long_time = long.run_to_fixpoint()
         assert long_time > short_time
 
     def test_two_node_network(self):
         network = ExspanNetwork(
-            line_topology(2), mincost_program(), mode=ProvenanceMode.REFERENCE
+            line_topology(2),
+            mincost_program(),
+            config=ExspanConfig(mode=ProvenanceMode.REFERENCE),
         )
         network.seed_links()
         network.run_to_fixpoint()

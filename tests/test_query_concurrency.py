@@ -26,6 +26,7 @@ from hypothesis import strategies as st
 
 from paper_example import figure3_topology
 from repro.core import (
+    ExspanConfig,
     ExspanNetwork,
     ProvenanceMode,
     QueryResultCache,
@@ -43,7 +44,9 @@ from repro.protocols import mincost_program
 
 def _reference_network(topology, **knobs) -> ExspanNetwork:
     network = ExspanNetwork(
-        topology, mincost_program(), mode=ProvenanceMode.REFERENCE, **knobs
+        topology,
+        mincost_program(),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE, **knobs),
     )
     network.seed_links()
     network.run_to_fixpoint()

@@ -1,0 +1,194 @@
+"""Wire-protocol robustness: framing, handshake, and hostile clients.
+
+Everything here talks raw sockets on purpose — the point is to verify
+the server's behavior against inputs :class:`ServiceClient` would never
+send: malformed frames, truncated frames, oversized length prefixes,
+unknown ops, and mid-request disconnects.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.config import ExspanConfig
+from repro.net.topology import ring_topology
+from repro.protocols.mincost import mincost_program
+from repro.core.api import ExspanNetwork
+from repro.service import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    network = ExspanNetwork(
+        ring_topology(4, seed=0), mincost_program(), config=ExspanConfig(seed=0)
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    with ServiceThread(network) as thread:
+        yield thread
+
+
+@pytest.fixture
+def raw(service):
+    sock = socket.create_connection(service.address, timeout=30)
+    try:
+        greeting = recv_frame(sock)
+        assert greeting["type"] == "greeting"
+        yield sock
+    finally:
+        sock.close()
+
+
+def _hello(sock):
+    send_frame(sock, {"id": 0, "op": "hello", "params": {"protocol": PROTOCOL_VERSION}})
+    response = recv_frame(sock)
+    assert response["ok"], response
+    return response
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        frame = encode_frame({"id": 1, "op": "ping", "params": {}})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * 64}, max_frame=32)
+
+    def test_protocol_error_requires_known_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("not-a-real-code", "nope")
+
+    def test_malformed_json_frame_gets_bad_frame_error(self, raw):
+        _hello(raw)
+        body = b"this is not json"
+        raw.sendall(struct.pack(">I", len(body)) + body)
+        response = recv_frame(raw)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-frame"
+
+    def test_non_object_json_frame_rejected(self, raw):
+        _hello(raw)
+        body = b'["a", "list"]'
+        raw.sendall(struct.pack(">I", len(body)) + body)
+        response = recv_frame(raw)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-frame"
+
+    def test_oversized_length_prefix_rejected(self, raw):
+        _hello(raw)
+        raw.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        response = recv_frame(raw)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "frame-too-large"
+
+    def test_truncated_frame_then_disconnect(self, service):
+        """A client dying mid-frame must not wedge the server."""
+        sock = socket.create_connection(service.address, timeout=30)
+        recv_frame(sock)
+        sock.sendall(struct.pack(">I", 1024) + b'{"id"')  # promised 1024, sent 6
+        sock.close()
+        # The server must still serve the next client normally.
+        with ServiceClient(*service.address) as client:
+            assert client.call("ping")["now"] >= 0
+
+    def test_mid_request_disconnect_during_query(self, service):
+        """Disconnecting right after sending a request must not wedge others."""
+        sock = socket.create_connection(service.address, timeout=30)
+        recv_frame(sock)
+        send_frame(sock, {"id": 0, "op": "hello", "params": {"protocol": PROTOCOL_VERSION}})
+        recv_frame(sock)
+        send_frame(
+            sock,
+            {
+                "id": 1,
+                "op": "query",
+                "params": {
+                    "fact": {"name": "bestPathCost", "values": ["n0", "n1", 1]},
+                    "spec": {"kind": "polynomial"},
+                },
+            },
+        )
+        sock.close()  # gone before the response lands
+        with ServiceClient(*service.address) as client:
+            result = client.call(
+                "query",
+                fact={"name": "bestPathCost", "values": ["n0", "n1", 1]},
+                spec={"kind": "polynomial"},
+            )
+            assert result["annotation"]["kind"] == "polynomial"
+
+
+class TestHandshake:
+    def test_greeting_carries_protocol_and_network_info(self, service):
+        with ServiceClient(*service.address) as client:
+            assert client.greeting["protocol"] == PROTOCOL_VERSION
+            assert client.greeting["network"]["node_count"] == 4
+            assert client.hello["ops"]  # op catalogue advertised
+
+    def test_wrong_protocol_version_rejected(self, raw):
+        send_frame(raw, {"id": 0, "op": "hello", "params": {"protocol": 999}})
+        response = recv_frame(raw)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unsupported-protocol"
+
+    def test_request_before_hello_rejected(self, raw):
+        send_frame(raw, {"id": 7, "op": "ping", "params": {}})
+        response = recv_frame(raw)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "handshake-required"
+        assert response["id"] == 7
+
+
+class TestRequests:
+    def test_unknown_op(self, service):
+        with ServiceClient(*service.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.call("frobnicate")
+            assert excinfo.value.code == "unknown-op"
+
+    def test_missing_id_is_bad_request(self, raw):
+        _hello(raw)
+        send_frame(raw, {"op": "ping", "params": {}})
+        response = recv_frame(raw)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-request"
+
+    def test_non_object_params_is_bad_request(self, raw):
+        _hello(raw)
+        send_frame(raw, {"id": 1, "op": "ping", "params": [1, 2]})
+        response = recv_frame(raw)
+        assert response["error"]["code"] == "bad-request"
+
+    def test_bad_query_params_surface_as_query_error(self, service):
+        with ServiceClient(*service.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.call("tuples", table="nonexistent")
+            assert excinfo.value.code == "query-error"
+
+    def test_bad_fact_payload(self, service):
+        with ServiceClient(*service.address) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.call("insert", fact={"values": [1]})  # no name
+            assert excinfo.value.code in ("bad-request", "query-error")
+
+    def test_response_ids_echo_requests(self, raw):
+        _hello(raw)
+        for request_id in (5, "abc", 17):
+            send_frame(raw, {"id": request_id, "op": "ping", "params": {}})
+            response = recv_frame(raw)
+            assert response["id"] == request_id
+            assert response["ok"] is True

@@ -26,7 +26,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ExspanNetwork, ProvenanceMode
+from repro.core import ExspanConfig, ExspanNetwork, ProvenanceMode
 from repro.core.customizations import derivation_count_query, polynomial_query
 from repro.datalog.ast import Fact
 from repro.net import SimulationError, Simulator
@@ -115,12 +115,10 @@ def _serial_state(program_key, mode_key, script=None, specs=(), value_policy="bd
     net = ExspanNetwork(
         _topology(),
         PROGRAMS[program_key](),
-        mode=MODES[mode_key],
-        seed=0,
-        value_policy=value_policy,
+        config=ExspanConfig(mode=MODES[mode_key], seed=0, value_policy=value_policy),
     )
     for spec in specs:
-        net.register_query_spec(spec)
+        net.register_spec(spec)
     net.seed_links()
     net.run_to_fixpoint()
     outcomes = apply_script_serial(net, script) if script else {}
@@ -244,7 +242,7 @@ def test_apply_ops_after_fixpoint_reopens_the_window():
     before the overshot safe time — the worker must re-open its window at
     the barrier instant instead of tripping the safe-time assertion.
     """
-    serial = ExspanNetwork(_topology(), mincost_program(), seed=0)
+    serial = ExspanNetwork(_topology(), mincost_program(), config=ExspanConfig(seed=0))
     serial.seed_links()
     serial.run_to_fixpoint()
     serial.insert_fact(Fact("link", ("c0_1", "c0_3", 9)))
@@ -271,9 +269,9 @@ def test_auto_query_ids_do_not_collide():
             ],
         ),
     ]
-    serial = ExspanNetwork(_topology(), mincost_program(), seed=0)
+    serial = ExspanNetwork(_topology(), mincost_program(), config=ExspanConfig(seed=0))
     for spec in specs:
-        serial.register_query_spec(spec)
+        serial.register_spec(spec)
     serial.seed_links()
     serial.run_to_fixpoint()
     serial_outcomes = apply_script_serial(serial, script)
@@ -526,8 +524,7 @@ def test_exspan_network_threads_compaction_knobs():
     net = ExspanNetwork(
         ring_topology(4, seed=0),
         mincost_program(),
-        compact_min_cancelled=7,
-        compact_ratio=2.5,
+        config=ExspanConfig(compact_min_cancelled=7, compact_ratio=2.5),
     )
     assert net.simulator.compact_min_cancelled == 7
     assert net.simulator.compact_ratio == 2.5
@@ -559,7 +556,7 @@ def test_merge_traffic_records_deterministic_order():
 
 
 def test_sharded_records_match_serial_aggregates():
-    serial = ExspanNetwork(_topology(), mincost_program(), seed=0)
+    serial = ExspanNetwork(_topology(), mincost_program(), config=ExspanConfig(seed=0))
     serial.seed_links()
     serial.run_to_fixpoint()
     with ShardedExspanNetwork(_topology(), mincost_program(), shards=2, seed=0) as sharded:
@@ -575,7 +572,7 @@ def test_sharded_records_match_serial_aggregates():
 
 def test_sharded_traffic_stats_match_serial_views():
     """The merged TrafficStats answers every aggregate like the serial one."""
-    serial = ExspanNetwork(_topology(), mincost_program(), seed=0)
+    serial = ExspanNetwork(_topology(), mincost_program(), config=ExspanConfig(seed=0))
     serial.seed_links()
     serial.run_to_fixpoint()
     with ShardedExspanNetwork(_topology(), mincost_program(), shards=3, seed=0) as sharded:
@@ -638,9 +635,11 @@ def test_disconnected_islands_cross_shard_queries():
             ],
         ),
     ]
-    serial = ExspanNetwork(_island_topology(), mincost_program(), seed=0)
+    serial = ExspanNetwork(
+        _island_topology(), mincost_program(), config=ExspanConfig(seed=0)
+    )
     for spec in specs:
-        serial.register_query_spec(spec)
+        serial.register_spec(spec)
     serial.seed_links()
     serial.run_to_fixpoint()
     serial_outcomes = apply_script_serial(serial, script)
@@ -668,7 +667,7 @@ def test_disconnected_islands_cross_shard_queries():
 # parallelism accounting
 # ---------------------------------------------------------------------- #
 def test_parallelism_report_counts_every_event():
-    serial = ExspanNetwork(_topology(), mincost_program(), seed=0)
+    serial = ExspanNetwork(_topology(), mincost_program(), config=ExspanConfig(seed=0))
     serial.seed_links()
     serial.run_to_fixpoint()
     with ShardedExspanNetwork(_topology(), mincost_program(), shards=4, seed=0) as sharded:

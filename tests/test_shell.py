@@ -1,0 +1,124 @@
+"""Shell behavior and the golden-transcript gate.
+
+The golden transcript (``tests/golden/shell_session.txt``) is the
+committed output of the scripted session in
+``tests/golden/shell_session.commands`` against an embedded ring:5
+MINCOST service — including ``\\explain`` and ``\\prov`` output.  CI
+replays the same session against a *separate server process* and diffs
+against the same file, so the transcript also pins the wire protocol.
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import ProvenanceError
+from repro.service.bootstrap import build_network
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceThread
+from repro.shell import ExspanShell, parse_fact
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+class TestParseFact:
+    def test_basic(self):
+        assert parse_fact("link(n0,n1,3)") == {
+            "name": "link",
+            "values": ["n0", "n1", 3],
+            "location_index": 0,
+        }
+
+    def test_whitespace_tolerated(self):
+        assert parse_fact("  link( n0 , n1 , 3 ) ") == {
+            "name": "link",
+            "values": ["n0", "n1", 3],
+            "location_index": 0,
+        }
+
+    def test_nullary(self):
+        assert parse_fact("tick()") == {"name": "tick", "values": [], "location_index": 0}
+
+    @pytest.mark.parametrize("text", ["link", "link(n0,n1", "(n0)", "link(n0,,n1)"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ProvenanceError):
+            parse_fact(text)
+
+
+@pytest.fixture(scope="module")
+def shell_service():
+    with ServiceThread(build_network("ring:5")) as service:
+        yield service
+
+
+@pytest.fixture
+def shell(shell_service):
+    out = io.StringIO()
+    with ServiceClient(*shell_service.address) as client:
+        yield ExspanShell(client, out=out, echo=False), out
+
+
+class TestShellCommands:
+    def test_unknown_command_prints_error(self, shell):
+        repl, out = shell
+        repl.handle("frobnicate everything")
+        assert "unknown command" in out.getvalue()
+
+    def test_unknown_special_prints_error(self, shell):
+        repl, out = shell
+        repl.handle("\\bogus")
+        assert "unknown special" in out.getvalue()
+
+    def test_service_error_is_printed_not_raised(self, shell):
+        repl, out = shell
+        repl.handle("tuples nonexistent")
+        assert "error [query-error]" in out.getvalue()
+
+    def test_help_lists_commands(self, shell):
+        repl, out = shell
+        repl.handle("\\help")
+        text = out.getvalue()
+        for needle in ("query", "\\prov", "\\explain", "\\trace", "\\shutdown"):
+            assert needle in text
+
+    def test_blank_and_comment_lines_ignored(self, shell):
+        repl, out = shell
+        repl.handle("")
+        repl.handle("   ")
+        repl.handle("# a comment")
+        assert out.getvalue() == ""
+
+    def test_quit_stops_the_loop(self, shell):
+        repl, _ = shell
+        assert repl.running
+        repl.handle("\\q")
+        assert not repl.running
+
+    def test_completion_candidates_cover_tables_and_specs(self, shell):
+        repl, _ = shell
+        candidates = repl.completion_candidates()
+        assert "bestPathCost" in candidates  # table names
+        assert "polynomial" in candidates  # registered spec names
+        assert "\\prov" in candidates  # specials
+        assert "query" in candidates  # statements
+
+    def test_trace_toggle(self, shell):
+        repl, out = shell
+        repl.handle("\\trace on")
+        repl.handle("query bestPathCost(n0,n1,1)")
+        assert "trace: issued=" in out.getvalue()
+        repl.handle("\\trace off")
+        assert repl.trace is False
+
+
+def test_golden_transcript():
+    """The committed transcript replays exactly against a fresh service."""
+    commands = (GOLDEN_DIR / "shell_session.commands").read_text().splitlines()
+    expected = (GOLDEN_DIR / "shell_session.txt").read_text()
+    out = io.StringIO()
+    with ServiceThread(build_network("ring:5")) as service:
+        with ServiceClient(*service.address) as client:
+            repl = ExspanShell(client, out=out, echo=True)
+            repl.run_script(commands)
+    assert out.getvalue() == expected
