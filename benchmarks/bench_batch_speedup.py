@@ -1,38 +1,47 @@
-"""Batched delta pipeline speedup: before/after on provenance-rewritten rings.
+"""Delta-pipeline speedup ladder: delta vs batched vs columnar on rings.
 
-Benchmarks the batched evaluation pipeline (compiled plan executors, fused
-zero-/one-step rules, interned rows, VID memoization) against the retained
-legacy interpreter (``pipeline="delta"`` with VID caching disabled) on the
-workload the acceptance bar names: the PATHVECTOR fixpoint with the
+Benchmarks the three delta-evaluation pipelines against each other on the
+workload the acceptance bars name: the PATHVECTOR fixpoint with the
 reference-provenance rewrite enabled, on rings of 12/24/32 nodes.
 
-Baseline definition: the "before" configuration routes every delta through
-the one-at-a-time term-tree interpreter and recomputes each SHA-1 VID
-preimage on every rule firing — the code path the engine ran before the
-batched pipeline landed.  Storage-layer improvements that the two
-pipelines share (interned rows, precomputed index key extractors,
-incremental MIN/MAX maintenance) are *not* toggled, so the ratio printed
-here understates the speedup over the actual pre-batching commit.
+* ``delta`` — the retained one-at-a-time term-tree interpreter with VID
+  caching disabled: every SHA-1 VID preimage is recomputed on every rule
+  firing.  This is the code path the engine ran before the batched
+  pipeline landed (PR 3's "before" configuration), kept as the baseline
+  so speedup numbers stay comparable across releases.  Note that storage
+  and engine improvements shared by all pipelines (interned rows, row-hash
+  memoization, precomputed index key extractors) have kept making this
+  baseline faster since it was first measured, so the ratios printed here
+  *understate* the speedup over the historical pre-batching commit.
+* ``batched`` — compiled plan executors, fused zero-/one-step rules,
+  VID memoization (PR 3's "after" configuration).
+* ``columnar`` — windowed column-block evaluation with generated batch
+  kernels (selection vectors, bulk hash-index probes, inlined VID memo,
+  kernel-prefrozen storage rows).
 
-Both configurations produce bit-identical results — same fixpoints, VIDs,
+All three produce bit-identical results — same fixpoints, VIDs,
 prov/ruleExec rows and counters — which the equivalence suite
 (``tests/test_plan_equivalence.py``) enforces; this benchmark asserts it
 again on the fixpoint sizes it measures.
 
 Run directly for the comparison table (the README "Performance" section
-reproduces it)::
+reproduces it) and the machine-readable artifact
+``results/BENCH_columnar_speedup.json``::
 
-    PYTHONPATH=src python benchmarks/bench_batch_speedup.py [repeats]
+    PYTHONPATH=src python benchmarks/bench_batch_speedup.py [repeats] \
+        [--json PATH]
 
-or through pytest-benchmark for the two 12-node cases.
+or through pytest-benchmark for the 12-node cases.
 """
 
 from __future__ import annotations
 
 import gc
+import json
+import os
 import sys
 import time
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.core import vid
 from repro.core.rewrite import rewrite_program
@@ -43,12 +52,20 @@ from repro.protocols import pathvector_program
 
 SIZES = (12, 24, 32)
 DEFAULT_REPEATS = 3
+DEFAULT_JSON_PATH = os.path.join("results", "BENCH_columnar_speedup.json")
 
-#: (pipeline, vid-caching) per configuration.
+#: (pipeline, vid-caching) per configuration, in baseline-first order.
+#: ``delta`` runs with the memo layers off by the baseline definition
+#: above; the optimized pipelines run in their production configuration.
 CONFIGS: Dict[str, Tuple[str, bool]] = {
-    "before": ("delta", False),
-    "after": ("batched", True),
+    "delta": ("delta", False),
+    "batched": ("batched", True),
+    "columnar": ("columnar", True),
 }
+
+#: Speedup targets at ring-32 (the roadmap acceptance bars; recorded in
+#: the JSON artifact next to the measured ratios).
+TARGETS = {"columnar_vs_delta": 5.0, "columnar_vs_batched": 1.5}
 
 
 def _build(size: int, pipeline: str) -> Tuple[StandaloneNetwork, List]:
@@ -71,12 +88,21 @@ def run_fixpoint(size: int, config: str) -> StandaloneNetwork:
     return network
 
 
-def _run_once(size: int, config: str) -> Tuple[float, int]:
+def _columnar_counters(network: StandaloneNetwork) -> Dict[str, int]:
+    """Sum the per-engine columnar window/kernel counters."""
+    totals: Dict[str, int] = {}
+    for engine in network.engines.values():
+        for name, value in engine.columnar_counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def _run_once(size: int, config: str) -> Tuple[float, int, Dict[str, int]]:
     """One timed fixpoint, excluding construction.
 
     Plan compilation happens at program-load time by design (one-time setup
     amortized over the network's lifetime), so the timing isolates delta
-    processing — the quantity the batched pipeline changes.
+    processing — the quantity the optimized pipelines change.
     """
     pipeline, caching = CONFIGS[config]
     vid.set_vid_caching(caching)
@@ -89,23 +115,42 @@ def _run_once(size: int, config: str) -> Tuple[float, int]:
     network.run()
     elapsed = time.perf_counter() - started
     deltas = network.planner_stats()["deltas_processed"]
+    counters = _columnar_counters(network) if pipeline == "columnar" else {}
     vid.set_vid_caching(True)
-    return elapsed, deltas
+    return elapsed, deltas, counters
 
 
-def _measure(size: int, repeats: int) -> Tuple[float, float, int]:
-    """Best-of-*repeats* wall-clock for both configurations, interleaved.
+def _measure(size: int, repeats: int) -> Dict[str, Any]:
+    """Best-of-*repeats* wall-clock for every configuration, interleaved.
 
-    Alternating before/after within each repetition keeps background load
-    spikes from skewing one side of the ratio.
+    Alternating the configurations within each repetition keeps background
+    load spikes from skewing one side of a ratio.
     """
-    best = {"before": float("inf"), "after": float("inf")}
+    best = {config: float("inf") for config in CONFIGS}
     deltas = 0
+    counters: Dict[str, int] = {}
     for _ in range(repeats):
         for config in CONFIGS:
-            elapsed, deltas = _run_once(size, config)
+            elapsed, deltas, run_counters = _run_once(size, config)
             best[config] = min(best[config], elapsed)
-    return best["before"], best["after"], deltas
+            if run_counters:
+                counters = run_counters
+    deltas_per_s = {
+        config: deltas / max(elapsed, 1e-9) for config, elapsed in best.items()
+    }
+    return {
+        "deltas": deltas,
+        "elapsed_s": {k: round(v, 4) for k, v in best.items()},
+        "deltas_per_s": {k: round(v, 1) for k, v in deltas_per_s.items()},
+        "speedup": {
+            "batched_vs_delta": round(best["delta"] / max(best["batched"], 1e-9), 2),
+            "columnar_vs_delta": round(best["delta"] / max(best["columnar"], 1e-9), 2),
+            "columnar_vs_batched": round(
+                best["batched"] / max(best["columnar"], 1e-9), 2
+            ),
+        },
+        "columnar_counters": counters,
+    }
 
 
 def _snapshot(network: StandaloneNetwork) -> dict:
@@ -116,54 +161,105 @@ def _snapshot(network: StandaloneNetwork) -> dict:
 
 
 # ---------------------------------------------------------------------- #
-# pytest-benchmark cases (and the equivalence guard)
+# pytest-benchmark cases (and the equivalence + kernel-coverage guards)
 # ---------------------------------------------------------------------- #
-def test_rewritten_fixpoint_before(benchmark):
-    network = benchmark(lambda: run_fixpoint(SIZES[0], "before"))
+def test_rewritten_fixpoint_delta(benchmark):
+    network = benchmark(lambda: run_fixpoint(SIZES[0], "delta"))
     assert len(network.all_rows("prov")) > 0
 
 
-def test_rewritten_fixpoint_after(benchmark):
-    network = benchmark(lambda: run_fixpoint(SIZES[0], "after"))
+def test_rewritten_fixpoint_batched(benchmark):
+    network = benchmark(lambda: run_fixpoint(SIZES[0], "batched"))
+    assert len(network.all_rows("prov")) > 0
+
+
+def test_rewritten_fixpoint_columnar(benchmark):
+    network = benchmark(lambda: run_fixpoint(SIZES[0], "columnar"))
     assert len(network.all_rows("prov")) > 0
 
 
 def test_pipelines_bit_identical():
-    """Both pipelines must agree on every table, VIDs included."""
-    before = _snapshot(run_fixpoint(SIZES[0], "before"))
-    after = _snapshot(run_fixpoint(SIZES[0], "after"))
-    assert before == after
+    """All pipelines must agree on every table, VIDs included."""
+    reference = _snapshot(run_fixpoint(SIZES[0], "delta"))
+    assert _snapshot(run_fixpoint(SIZES[0], "batched")) == reference
+    assert _snapshot(run_fixpoint(SIZES[0], "columnar")) == reference
+
+
+def test_columnar_full_kernel_coverage():
+    """Every rewritten-PATHVECTOR batch must run a generated kernel.
+
+    ``generic_batches == 0`` is the deterministic CI stand-in for the
+    wall-clock speedup story: the moment a rule shape regresses out of the
+    generated-kernel subset, the speedup silently collapses — this catches
+    it without timing anything.
+    """
+    counters = _columnar_counters(run_fixpoint(SIZES[0], "columnar"))
+    assert counters.get("kernel_batches", 0) > 0
+    assert counters.get("generic_batches", 0) == 0
 
 
 # ---------------------------------------------------------------------- #
-# standalone comparison table
+# standalone comparison table + JSON artifact
 # ---------------------------------------------------------------------- #
-def main(repeats: int = DEFAULT_REPEATS) -> None:
+def main(repeats: int = DEFAULT_REPEATS, json_path: str = DEFAULT_JSON_PATH) -> None:
     print(
-        "Batched pipeline comparison: PATHVECTOR + provenance rewrite "
+        "Delta-pipeline comparison: PATHVECTOR + provenance rewrite "
         f"(ring, StandaloneNetwork fixpoint, best of {repeats})"
     )
     header = (
-        f"{'nodes':>5} {'before s':>9} {'after s':>9} {'speedup':>8} "
-        f"{'deltas':>8} {'before d/s':>11} {'after d/s':>11}"
+        f"{'nodes':>5} {'deltas':>8} "
+        f"{'delta d/s':>11} {'batched d/s':>12} {'columnar d/s':>13} "
+        f"{'col/delta':>9} {'col/batch':>9}"
     )
     print(header)
     print("-" * len(header))
+    sizes: Dict[str, Any] = {}
     for size in SIZES:
-        before_s, after_s, deltas = _measure(size, repeats)
+        measured = _measure(size, repeats)
+        sizes[str(size)] = measured
+        rates = measured["deltas_per_s"]
+        speedup = measured["speedup"]
         print(
-            f"{size:>5} {before_s:>9.3f} {after_s:>9.3f} "
-            f"{before_s / max(after_s, 1e-9):>7.2f}x "
-            f"{deltas:>8} {deltas / max(before_s, 1e-9):>11,.0f} "
-            f"{deltas / max(after_s, 1e-9):>11,.0f}"
+            f"{size:>5} {measured['deltas']:>8} "
+            f"{rates['delta']:>11,.0f} {rates['batched']:>12,.0f} "
+            f"{rates['columnar']:>13,.0f} "
+            f"{speedup['columnar_vs_delta']:>8.2f}x "
+            f"{speedup['columnar_vs_batched']:>8.2f}x"
         )
+    gate = sizes[str(SIZES[-1])]["speedup"]
+    artifact = {
+        "benchmark": "columnar_speedup",
+        "workload": "pathvector + ref-provenance rewrite, ring topology",
+        "baseline": "pipeline=delta with VID/sha1 caching disabled",
+        "repeats": repeats,
+        "sizes": sizes,
+        "targets": dict(TARGETS),
+        "gates": {
+            name: gate[name] >= target for name, target in TARGETS.items()
+        },
+    }
+    os.makedirs(os.path.dirname(json_path) or ".", exist_ok=True)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {json_path}")
+    for name, target in TARGETS.items():
+        achieved = gate[name]
+        status = "MET" if achieved >= target else "below target"
+        print(f"  ring-{SIZES[-1]} {name}: {achieved:.2f}x (target {target}x, {status})")
     stats = vid.vid_cache_stats()
     print(
-        "\nvid cache after last run: "
+        "vid cache after last run: "
         f"sha1 entries={stats['sha1']['entries']} hits={stats['sha1']['hits']} "
         f"misses={stats['sha1']['misses']} (bounded at {stats['sha1']['limit']})"
     )
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_REPEATS)
+    argv = [arg for arg in sys.argv[1:]]
+    path = DEFAULT_JSON_PATH
+    if "--json" in argv:
+        index = argv.index("--json")
+        path = argv[index + 1]
+        del argv[index : index + 2]
+    main(int(argv[0]) if argv else DEFAULT_REPEATS, path)

@@ -624,12 +624,22 @@ class ExspanNetwork:
         """
         from ..obs.metrics import MetricsRegistry
 
+        from .vid import vid_cache_stats
+
         registry = MetricsRegistry()
         registry.absorb_counters(self.planner_stats(), prefix="engine.")
         registry.absorb_counters(self.query_service_stats(), prefix="query.")
         for kind, (messages, size) in sorted(self.stats.kind_totals().items()):
             registry.inc("net.messages", messages, kind=kind)
             registry.inc("net.bytes", size, kind=kind)
+        # Memoization effectiveness of the two VID layers (process-global
+        # caches: tuple-VID memo and the underlying f_sha1 digest memo).
+        # Hits/misses are counters; live entry counts and bounds are gauges.
+        for layer, stats in vid_cache_stats().items():
+            registry.inc(f"cache.{layer}.hits", stats["hits"])
+            registry.inc(f"cache.{layer}.misses", stats["misses"])
+            registry.set_gauge(f"cache.{layer}.entries", stats["entries"])
+            registry.set_gauge(f"cache.{layer}.limit", stats["limit"])
         registry.set_gauge("sim.now", self.simulator.now)
         registry.set_gauge("sim.events_executed", self.simulator.events_executed)
         # Deep copy so a service client polling metrics can never reach the

@@ -47,7 +47,7 @@ _MODES_BY_NAME: Dict[str, ProvenanceMode] = {
 }
 
 _PLANNERS = (None, "greedy", "naive")
-_PIPELINES = (None, "batched", "delta")
+_PIPELINES = (None, "batched", "delta", "columnar")
 _VALUE_POLICIES = ("bdd", "polynomial")
 
 
@@ -84,8 +84,9 @@ class ExspanConfig:
         the topology's first node);
         ``planner`` — rule planner (``None`` = process default,
         ``"greedy"`` or ``"naive"``);
-        ``pipeline`` — delta pipeline (``None`` = default ``"batched"``,
-        or ``"delta"``).
+        ``pipeline`` — delta pipeline (``None`` = process default,
+        ``"batched"``, ``"delta"``, or the vectorized ``"columnar"``;
+        all three are bit-identical).
 
     Workload
         ``link_cost`` — default cost for runtime-added links;

@@ -219,6 +219,137 @@ class Table:
         interned.count -= 1
         return _DELETED_KEPT
 
+    def apply_delta_block(self, deltas: Sequence[Any]) -> List[Any]:
+        """Apply a columnar block of deltas in order; per-delta fire codes.
+
+        Semantically one :meth:`insert` / :meth:`delete` per delta (REFRESH
+        is a storage no-op), with the per-call overhead — method dispatch,
+        outcome allocation, unconditional value freezing — amortized over
+        the block.  Returns one code per delta telling the caller what to
+        propagate: ``None`` (nothing became visible/invisible), ``True``
+        (the delta's own fact must fire), or an evicted :class:`Fact`
+        (primary-key replacement: fire its DELETE, then the delta).
+
+        The freeze fast path relies on equality, not identity: a row whose
+        values are already hashable (no embedded lists/sets) looks up and
+        stores identically to its frozen image, because ``_freeze`` only
+        rewrites containers into equal tuples.
+        """
+        results: List[Any] = []
+        append = results.append
+        rows = self._rows
+        rows_get = rows.get
+        key_getter = self._key_getter
+        by_key = self._by_key
+        index_list = self._index_list
+        name = self.name
+        location_index = self.location_index
+        for delta in deltas:
+            action = delta.action
+            if action == "insert":
+                # Kernel-prefrozen rows (see Delta.frozen) skip the freeze;
+                # getattr-with-default also absorbs deltas minted through
+                # Delta.__new__ by the per-tuple emitters, whose slot is
+                # never assigned.
+                row = getattr(delta, "frozen", None)
+                if row is None:
+                    values = delta.fact.values
+                    if type(values) is InternedRow:
+                        row = values
+                    else:
+                        # Branchless freeze: per-value class checks beat the
+                        # try-hash-except dance because list-carrying rows
+                        # (paths, VID buffers) are common on this path and
+                        # each would pay a raised TypeError.  Lists freeze
+                        # shallowly (one C-level tuple() — they are flat
+                        # scalar sequences in practice); a nested container
+                        # surfaces as TypeError at the lookup and reruns the
+                        # recursive deep freeze.
+                        row = tuple(
+                            [
+                                v
+                                if v.__class__ is str or v.__class__ is int
+                                else tuple(v)
+                                if v.__class__ is list
+                                else _freeze(v)
+                                for v in values
+                            ]
+                        )
+                try:
+                    interned = rows_get(row)
+                except TypeError:
+                    row = tuple([_freeze(v) for v in delta.fact.values])
+                    interned = rows_get(row)
+                if interned is not None:
+                    interned.count += 1
+                    append(None)
+                    continue
+                arity = self.arity
+                if arity is None:
+                    self.arity = len(row)
+                elif len(row) != arity:
+                    raise SchemaError(
+                        f"relation {name!r} expects arity {arity}, "
+                        f"got {len(row)}"
+                    )
+                interned = InternedRow(row)
+                interned.count = 1
+                code: Any = True
+                if key_getter is not None:
+                    key = key_getter(interned)
+                    existing = by_key.get(key)
+                    if existing is not None and existing != interned:
+                        self._remove_row(existing)
+                        code = Fact(name, existing, location_index)
+                    by_key[key] = interned
+                rows[interned] = interned
+                length = len(interned)
+                for max_position, getter, index in index_list:
+                    if max_position < length:
+                        index.setdefault(getter(interned), {})[interned] = None
+                append(code)
+            elif action == "delete":
+                row = getattr(delta, "frozen", None)
+                if row is None:
+                    values = delta.fact.values
+                    if type(values) is InternedRow:
+                        row = values
+                    else:
+                        row = tuple(
+                            [
+                                v
+                                if v.__class__ is str or v.__class__ is int
+                                else tuple(v)
+                                if v.__class__ is list
+                                else _freeze(v)
+                                for v in values
+                            ]
+                        )
+                arity = self.arity
+                if arity is None:
+                    self.arity = len(row)
+                elif len(row) != arity:
+                    raise SchemaError(
+                        f"relation {name!r} expects arity {arity}, "
+                        f"got {len(row)}"
+                    )
+                try:
+                    interned = rows_get(row)
+                except TypeError:
+                    row = tuple([_freeze(v) for v in delta.fact.values])
+                    interned = rows_get(row)
+                if interned is None:
+                    append(None)
+                elif interned.count <= 1:
+                    self._remove_row(interned)
+                    append(True)
+                else:
+                    interned.count -= 1
+                    append(None)
+            else:  # REFRESH: no storage effect
+                append(None)
+        return results
+
     def delete_all(self, values: Sequence[Any]) -> DeleteOutcome:
         """Remove every derivation of *values* regardless of count."""
         row = self._check_arity(values)
@@ -368,6 +499,39 @@ class Table:
         if index is None:
             index = self._ensure_index(positions)
         return index.get(key)
+
+    def probe_index(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Any, ...], Dict[Tuple[Any, ...], None]]:
+        """The raw hash index over *positions* (built on first use).
+
+        Returned for repeated probing against a table known to be stable;
+        the columnar kernels hoist ``index.get`` out of their batch loops.
+        Callers must not mutate the table while holding the reference.
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._ensure_index(positions)
+        return index
+
+    def probe_many(
+        self, positions: Tuple[int, ...], keys: Sequence[Tuple[Any, ...]]
+    ) -> List[Optional[Dict[Tuple[Any, ...], None]]]:
+        """Bulk index probe: the per-key bucket (or ``None``) for each key.
+
+        One C-speed ``map`` over the whole key column instead of a Python
+        call per probe — the probe half of the columnar hash-join kernels.
+        Keys must already be frozen in canonical (sorted-position) order,
+        exactly as :meth:`probe` expects them.
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._ensure_index(positions)
+        return list(map(index.get, keys))
+
+    def column(self, position: int) -> List[Any]:
+        """Extract one attribute column across the current rows."""
+        return [row[position] for row in self._rows]
 
     def __len__(self) -> int:
         return len(self._rows)

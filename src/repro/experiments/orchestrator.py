@@ -45,6 +45,7 @@ from .scenarios import (
     resolve_scenarios,
     run_trial_spec,
 )
+from ..datalog.engine import set_default_pipeline
 from .trials import TRIAL_FUNCTIONS, set_default_shards
 
 __all__ = [
@@ -203,10 +204,14 @@ def _fresh_results(
 _TRACE_DIR: Optional[str] = None
 
 
-def _configure_worker(shards: int, trace_dir: Optional[str]) -> None:
-    """Process-pool initializer: default shard count + trace directory."""
+def _configure_worker(
+    shards: int, trace_dir: Optional[str], pipeline: Optional[str] = None
+) -> None:
+    """Process-pool initializer: shard count, trace directory, pipeline."""
     global _TRACE_DIR
     set_default_shards(shards)
+    if pipeline is not None:
+        set_default_pipeline(pipeline)
     _TRACE_DIR = trace_dir
 
 
@@ -285,6 +290,7 @@ def run(
     resume: bool = True,
     planner: Optional[str] = None,
     shards: Optional[int] = None,
+    pipeline: Optional[str] = None,
     verbose: bool = False,
     trace_dir: Optional[str] = None,
 ) -> RunReport:
@@ -300,6 +306,12 @@ def run(
     bit-identical to the serial one — artifacts produced under any
     ``shards`` value must match byte for byte, which is how CI verifies
     the engine's determinism guarantee against the committed baselines.
+    ``pipeline`` follows the ``shards`` convention exactly: it sets the
+    process-wide default delta-evaluation pipeline (``"delta"``,
+    ``"batched"`` or ``"columnar"``) without entering kwargs or
+    fingerprints — every pipeline is bit-identical by contract, and the CI
+    columnar gate re-runs the suite under ``pipeline="columnar"`` and
+    strict-compares the artifacts against the committed baselines.
     ``trace_dir`` mirrors ``shards``: it enables span tracing for every
     executed trial, writes one Chrome trace per trial into the directory
     and adds the advisory per-trial ``"phases"`` breakdown — while the
@@ -313,6 +325,8 @@ def run(
     global _TRACE_DIR
     if shards is not None:
         set_default_shards(shards)
+    if pipeline is not None:
+        set_default_pipeline(pipeline)
     scenarios = resolve_scenarios(names)
     report = RunReport(scale=scale, workers=workers)
 
@@ -368,7 +382,7 @@ def run(
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_configure_worker,
-                initargs=(shards if shards is not None else 1, trace_dir),
+                initargs=(shards if shards is not None else 1, trace_dir, pipeline),
             ) as pool:
                 results = list(pool.map(_run_task, pending, chunksize=1))
         else:

@@ -7,8 +7,10 @@ Two independent axes are swept:
   many tuples are scanned*, never what is derived.
 * **pipeline** — ``"delta"`` (the legacy one-delta-at-a-time term-tree
   interpreter) vs ``"batched"`` (per-(predicate, action) batch drain with
-  closure-compiled and exec-generated plan executors).  Batching may only
-  change dispatch cost, never processing order.
+  closure-compiled and exec-generated plan executors) vs ``"columnar"``
+  (windowed column-block evaluation with generated batch kernels).  The
+  optimized pipelines may only change dispatch cost, never processing
+  order — the interpreter is the equivalence oracle for both.
 
 Fixpoints, provenance tables (prov / ruleExec with their VIDs), and
 value-based annotations all feed the paper's results and must be identical
@@ -180,11 +182,13 @@ class TestProvenanceEquivalence:
 
 
 class TestBatchedPipelineEquivalence:
-    """``pipeline="batched"`` vs ``pipeline="delta"``: byte-identical.
+    """``batched`` and ``columnar`` vs ``delta``: byte-identical.
 
     The batched pipeline is the default; the legacy interpreter is retained
-    precisely so this sweep can prove the compiled/generated executors
-    change nothing but wall-clock.
+    precisely so this sweep can prove the compiled/generated executors —
+    and the columnar batch kernels layered above them — change nothing but
+    wall-clock.  Every loop runs all of ``PIPELINES`` and every pipeline
+    must match the interpreter exactly.
     """
 
     @pytest.mark.parametrize(
@@ -205,7 +209,8 @@ class TestBatchedPipelineEquivalence:
             snapshots[pipeline] = (_standalone_snapshot(net), net.planner_stats())
         # Same fixpoints AND the same evaluation counters: batching must not
         # change tuples_scanned / index_lookups (they feed BENCH artifacts).
-        assert snapshots["batched"] == snapshots["delta"]
+        for pipeline in PIPELINES:
+            assert snapshots[pipeline] == snapshots["delta"], pipeline
 
     @pytest.mark.parametrize(
         "program_factory",
@@ -228,7 +233,8 @@ class TestBatchedPipelineEquivalence:
             net.delete(Fact("link", (destination, source, cost)))
             net.run()
             snapshots[pipeline] = _standalone_snapshot(net)
-        assert snapshots["batched"] == snapshots["delta"]
+        for pipeline in PIPELINES:
+            assert snapshots[pipeline] == snapshots["delta"], pipeline
 
     def test_packetforward_identical_across_pipelines(self):
         topology = ring_topology(8, seed=7)
@@ -246,7 +252,8 @@ class TestBatchedPipelineEquivalence:
                 net.insert(packet_event(node, node, target, f"payload-{index}"))
             net.run()
             snapshots[pipeline] = _standalone_snapshot(net)
-        assert snapshots["batched"] == snapshots["delta"]
+        for pipeline in PIPELINES:
+            assert snapshots[pipeline] == snapshots["delta"], pipeline
         assert len(snapshots["batched"]["recvPacket"]) == len(topology.nodes)
 
     @pytest.mark.parametrize("mode", [ProvenanceMode.REFERENCE, ProvenanceMode.VALUE])
@@ -271,7 +278,8 @@ class TestBatchedPipelineEquivalence:
                         annotation = engine.annotation_of(Fact("bestPathCost", row))
                         annotations[(address, row)] = str(annotation)
             results[pipeline] = (snapshot, annotations)
-        assert results["batched"] == results["delta"]
+        for pipeline in PIPELINES:
+            assert results[pipeline] == results["delta"], pipeline
 
     def test_equivalence_invariant_under_hash_seed(self):
         """Snapshot digests agree across pipelines AND across hash seeds."""
@@ -282,7 +290,7 @@ class TestBatchedPipelineEquivalence:
             "from repro.protocols import pathvector_program\n"
             "from repro.net import ring_topology\n"
             "topology = ring_topology(6, seed=2)\n"
-            "for pipeline in ('batched', 'delta'):\n"
+            "for pipeline in ('batched', 'delta', 'columnar'):\n"
             "    net = StandaloneNetwork(topology.nodes,\n"
             "        rewrite_program(pathvector_program()), pipeline=pipeline)\n"
             "    for s, d, c in topology.link_facts():\n"
@@ -311,9 +319,9 @@ class TestBatchedPipelineEquivalence:
                 text=True,
                 check=True,
             ).stdout.split()
-            assert len(output) == 2
+            assert len(output) == 3
             digests.update(output)
-        # one digest: both pipelines, all three hash seeds, same bytes
+        # one digest: all three pipelines, all three hash seeds, same bytes
         assert len(digests) == 1
 
 
@@ -394,7 +402,48 @@ class TestRandomInterleavings:
                 for row in engine.table_rows(name)
             }
             states[pipeline] = (tables, annotations, dict(engine.stats))
-        assert states["batched"] == states["delta"]
+        for pipeline in PIPELINES:
+            assert states[pipeline] == states["delta"], pipeline
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=_ops)
+    def test_columnar_equals_batched_with_self_join(self, operations):
+        """Columnar windowing on a self-join program, random interleavings.
+
+        The self-join (``link`` twice in one rule body) forces the columnar
+        segmenter into SEQUENTIAL mode — a rule reading the predicate its
+        own head writes means in-window deltas conflict, so each block must
+        replay one delta at a time.  Random insert/delete/refresh streams
+        over it are the sharpest probe of window-boundary bookkeeping.
+        """
+        program = parse_program(
+            """
+            j1 two(@S,D) :- red(@S,M), red(@M,D).
+            j2 red(@S,D) :- blue(@S,D).
+            """
+        )
+        states = {}
+        for pipeline in ("batched", "columnar"):
+            engine = NDlogEngine("n", program, pipeline=pipeline)
+            for action, relation, key in operations:
+                fact = Fact(relation, ("n", f"d{key % 2}" if key > 1 else "n"))
+                if action == "insert":
+                    engine.insert(fact)
+                elif action == "delete":
+                    engine.delete(fact)
+                else:
+                    from repro.datalog.engine import Delta, REFRESH
+
+                    engine.enqueue(Delta(REFRESH, fact))
+                engine.run()
+            states[pipeline] = (
+                {
+                    name: engine.table_rows(name)
+                    for name in ("red", "blue", "two")
+                },
+                dict(engine.stats),
+            )
+        assert states["columnar"] == states["batched"]
 
 
 class TestScanReduction:
