@@ -58,6 +58,7 @@ from .provenance_graph import ProvenanceGraph, build_global_graph
 from .query import ProvenanceQueryService, QueryOutcome, QuerySpec
 from .requests import QueryRequest, QueryResult, SpecDescriptor
 from .storage import ProvenanceStore
+from ..storage.backend import StorageBackend, default_storage, make_backend, parse_storage_spec
 from .vid import fact_vid
 
 __all__ = ["ExspanNode", "ExspanNetwork", "DELTA_MESSAGE_KIND"]
@@ -167,6 +168,9 @@ class ExspanNetwork:
         #: name, so repeated requests reuse one live spec (and one BDD
         #: manager / cache namespace) instead of rebuilding per query.
         self._descriptor_specs: Dict[str, QuerySpec] = {}
+        self.storage: StorageBackend = make_backend(
+            self._resolve_storage_spec(config)
+        )
         self.nodes: Dict[Any, ExspanNode] = {}
         members = (
             topology.nodes
@@ -179,6 +183,26 @@ class ExspanNetwork:
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_storage_spec(config: ExspanConfig) -> str:
+        """The storage spec this instance uses (config first, else process default).
+
+        A sharded worker with an explicit sqlite path gets a per-shard
+        suffix (``<path>.shard<N>``) so forked processes never contend on
+        one WAL; the whole-network restore helpers reassemble per shard.
+        """
+        spec = config.storage if config.storage is not None else default_storage()
+        kind, path = parse_storage_spec(spec)
+        if (
+            kind == "sqlite"
+            and path is not None
+            and config.local_addresses
+            and config.shard_map
+        ):
+            shard = config.shard_map[config.local_addresses[0]]
+            spec = f"sqlite:{path}.shard{shard}"
+        return spec
+
     def _build_node(self, address: Any) -> ExspanNode:
         host = self.network.host(address)
         policy = None
@@ -196,6 +220,7 @@ class ExspanNetwork:
         if self.tracer is not None:
             engine.set_tracer(self.tracer)
         store = ProvenanceStore(engine)
+        self.storage.attach_node(address, engine, store)
         query_service = ProvenanceQueryService(
             host,
             store,
@@ -568,6 +593,102 @@ class ExspanNetwork:
         rule_rows = sum(node.store.rule_exec_row_count() for node in self.nodes.values())
         return {"prov": prov_rows, "ruleExec": rule_rows}
 
+    # ------------------------------------------------------------------ #
+    # persistence & SQL queries (the pluggable storage backend)
+    # ------------------------------------------------------------------ #
+    def storage_flush(self) -> int:
+        """Drain the backend's write-behind journal; returns ops flushed."""
+        tracer = self.tracer
+        if tracer is None:
+            return self.storage.flush()
+        with tracer.span("storage.flush", cat="storage") as span:
+            flushed = self.storage.flush()
+            span.add(ops=flushed)
+        return flushed
+
+    def checkpoint(self, path: str) -> Dict[str, Any]:
+        """Quiesce the network and write a snapshot-consistent checkpoint.
+
+        Runs the simulator to fixpoint first (scheduled events hold
+        closures a checkpoint cannot carry), flushes the storage backend,
+        then writes one canonical-JSON file atomically.  Restore with
+        :meth:`ExspanNetwork.restore`.  Returns a summary dict
+        (``path``/``nodes``/``bytes``/``now``).
+        """
+        from ..storage.checkpoint import save_checkpoint
+
+        self.run_to_fixpoint()
+        tracer = self.tracer
+        if tracer is None:
+            summary = save_checkpoint(self, path)
+        else:
+            with tracer.span("storage.checkpoint", cat="storage") as span:
+                summary = save_checkpoint(self, path)
+                span.add(nodes=summary["nodes"], bytes=summary["bytes"])
+        if self.storage.persistent:
+            self.storage.flush()
+        self.storage.counters["checkpoints"] += 1
+        return summary
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        topology: Topology,
+        program: Program,
+        *,
+        config: Optional[ExspanConfig] = None,
+        storage: Optional[str] = None,
+        tracer: Any = None,
+    ) -> "ExspanNetwork":
+        """Rebuild a network from a checkpoint written by :meth:`checkpoint`.
+
+        *topology* and *program* must match the checkpointed network
+        (checkpoints deliberately carry no user callables).  ``storage``
+        overrides just the storage spec — the backend is an
+        execution-environment knob, never part of the snapshot state.
+        """
+        from ..storage.checkpoint import restore_network
+
+        return restore_network(
+            path, topology, program, config=config, storage=storage, tracer=tracer
+        )
+
+    def sql_provenance(
+        self,
+        kind: str,
+        fact: Optional[Fact] = None,
+        *,
+        vid: Optional[str] = None,
+    ) -> List[Any]:
+        """Answer a provenance query through the backend's SQL path.
+
+        The second, independent oracle: the sqlite backend compiles
+        reachability/subgraph queries over the pre/post-order interval
+        encoding of the provenance DAG to indexed range scans + recursive
+        CTEs (see ``docs/STORAGE.md``).  *kind* is one of
+        ``repro.storage.SQL_QUERY_KINDS``; address the root tuple by
+        *fact* or *vid*.  Requires ``storage='sqlite'``.
+        """
+        if (fact is None) == (vid is None):
+            raise ProvenanceError("sql_provenance takes exactly one of fact= or vid=")
+        root = vid if vid is not None else fact_vid(fact)
+        tracer = self.tracer
+        if tracer is None:
+            return self.storage.sql_query(kind, root)
+        with tracer.span("storage.sql", cat="storage") as span:
+            rows = self.storage.sql_query(kind, root)
+            span.add(kind=kind, rows=len(rows) if isinstance(rows, list) else 1)
+        return rows
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """The storage backend's introspection snapshot (kind, rows, counters)."""
+        return self.storage.stats()
+
+    def close_storage(self) -> None:
+        """Release the storage backend's resources (connections, temp files)."""
+        self.storage.close()
+
     def planner_stats(self) -> Dict[str, int]:
         """Aggregated planner / evaluation counters across every engine.
 
@@ -640,6 +761,22 @@ class ExspanNetwork:
             registry.inc(f"cache.{layer}.misses", stats["misses"])
             registry.set_gauge(f"cache.{layer}.entries", stats["entries"])
             registry.set_gauge(f"cache.{layer}.limit", stats["limit"])
+        # Storage-backend counters, only when a persistent backend is in
+        # play: the memory default emits nothing here, keeping the default
+        # metrics snapshot (and golden shell transcripts) byte-identical.
+        if self.storage.persistent:
+            storage_stats = self.storage.stats()
+            for key in (
+                "journal_appends",
+                "journal_pending",
+                "flushes",
+                "flushed_ops",
+                "sql_queries",
+                "checkpoints",
+                "restores",
+            ):
+                registry.inc(f"cache.storage.{key}", storage_stats.get(key, 0))
+            registry.set_gauge("cache.storage.rows", storage_stats["rows"])
         registry.set_gauge("sim.now", self.simulator.now)
         registry.set_gauge("sim.events_executed", self.simulator.events_executed)
         # Deep copy so a service client polling metrics can never reach the

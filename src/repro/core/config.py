@@ -107,6 +107,13 @@ class ExspanConfig:
     Sharding placement
         ``local_addresses`` / ``shard_map`` — configure the instance as
         one shard of a larger simulation (see :mod:`repro.net.sharding`).
+
+    Storage
+        ``storage`` — storage backend spec (``None`` = process default,
+        ``"memory"``, ``"sqlite"``, or ``"sqlite:<path>"``).  An
+        execution-environment knob like ``pipeline``: results are
+        byte-identical under any backend, and the spec is only emitted
+        in :meth:`to_dict` when explicitly set.
     """
 
     mode: ProvenanceMode = ProvenanceMode.REFERENCE
@@ -124,6 +131,7 @@ class ExspanConfig:
     traffic_record_cap: Optional[int] = None
     local_addresses: Optional[Tuple[Any, ...]] = None
     shard_map: Optional[Mapping[Any, int]] = field(default=None)
+    storage: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mode", coerce_mode(self.mode))
@@ -172,6 +180,13 @@ class ExspanConfig:
             (self.shard_map is None) == (self.local_addresses is None),
             "local_addresses and shard_map must be given together",
         )
+        if self.storage is not None:
+            from ..storage.backend import StorageError, validate_storage_spec
+
+            try:
+                validate_storage_spec(self.storage)
+            except StorageError as exc:
+                raise ProvenanceError(f"invalid ExspanConfig: {exc}") from None
 
     # ------------------------------------------------------------------ #
     # derivation / serialization
@@ -205,6 +220,8 @@ class ExspanConfig:
         if self.local_addresses is not None:
             payload["local_addresses"] = list(self.local_addresses)
             payload["shard_map"] = dict(self.shard_map or {})
+        if self.storage is not None:
+            payload["storage"] = self.storage
         return payload
 
     @classmethod

@@ -13,6 +13,16 @@ The provenance rewrite maintains two ordinary NDlog tables at every node:
 service typed access to these tables, plus the "systems table that maps VIDs
 to tuples" the paper assumes (here a lazily-maintained index over the node's
 materialized tables).
+
+This is the per-node *view* layer of the pluggable storage engine
+(:mod:`repro.storage`): the rows themselves live in the interned-row
+:class:`~repro.storage.memory.Table` tier, every network's
+:class:`~repro.storage.backend.StorageBackend` receives each node's store
+through ``attach_node`` (serving cross-node ``fact_for_vid`` lookups and,
+for the sqlite backend, mirroring the same prov/ruleExec rows and VID
+index to disk), and checkpoint restore reloads the tables underneath this
+view without it noticing — the lazily-built VID index is rebuilt on first
+use from whatever the tables then contain.
 """
 
 from __future__ import annotations

@@ -83,6 +83,7 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
             pipeline=arguments.pipeline,
             verbose=arguments.verbose,
             trace_dir=arguments.trace,
+            storage=arguments.storage,
         )
     except KeyError as error:
         # Unknown scenario name / figure number: an error line, not a trace.
@@ -208,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
         "batched or columnar; all three are bit-identical by contract, so "
         "artifacts are byte-identical for any choice — the CI columnar "
         "gate strict-compares them against committed baselines)",
+    )
+    run_parser.add_argument(
+        "--storage", default=None, metavar="SPEC",
+        help="default storage backend for every trial (memory, sqlite or "
+        "sqlite:<path>; every backend is byte-identical by contract, so "
+        "artifacts match the committed baselines under any choice — the "
+        "CI durability gate strict-compares a sqlite run against them)",
     )
     run_parser.add_argument(
         "--trace", nargs="?", const="traces", default=None, metavar="DIR",

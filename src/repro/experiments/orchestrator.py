@@ -205,13 +205,20 @@ _TRACE_DIR: Optional[str] = None
 
 
 def _configure_worker(
-    shards: int, trace_dir: Optional[str], pipeline: Optional[str] = None
+    shards: int,
+    trace_dir: Optional[str],
+    pipeline: Optional[str] = None,
+    storage: Optional[str] = None,
 ) -> None:
-    """Process-pool initializer: shard count, trace directory, pipeline."""
+    """Process-pool initializer: shard count, trace dir, pipeline, storage."""
     global _TRACE_DIR
     set_default_shards(shards)
     if pipeline is not None:
         set_default_pipeline(pipeline)
+    if storage is not None:
+        from ..storage.backend import set_default_storage
+
+        set_default_storage(storage)
     _TRACE_DIR = trace_dir
 
 
@@ -293,6 +300,7 @@ def run(
     pipeline: Optional[str] = None,
     verbose: bool = False,
     trace_dir: Optional[str] = None,
+    storage: Optional[str] = None,
 ) -> RunReport:
     """Run scenarios and write one ``BENCH_<scenario>.json`` per scenario.
 
@@ -321,12 +329,22 @@ def run(
     complete trace set.  With ``resume`` (the default), trials whose
     stored fingerprint still matches are reused from the existing artifact
     instead of re-executed.
+    ``storage`` also follows the ``shards`` convention: it sets the
+    process-wide default storage backend (``"memory"``, ``"sqlite"`` or
+    ``"sqlite:<path>"``) without entering kwargs or fingerprints — every
+    backend is byte-identical by contract, and the CI durability gate
+    re-runs a scenario under ``storage="sqlite"`` and strict-compares the
+    artifact against the committed memory-backend baselines.
     """
     global _TRACE_DIR
     if shards is not None:
         set_default_shards(shards)
     if pipeline is not None:
         set_default_pipeline(pipeline)
+    if storage is not None:
+        from ..storage.backend import set_default_storage
+
+        set_default_storage(storage)
     scenarios = resolve_scenarios(names)
     report = RunReport(scale=scale, workers=workers)
 
@@ -382,7 +400,12 @@ def run(
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_configure_worker,
-                initargs=(shards if shards is not None else 1, trace_dir, pipeline),
+                initargs=(
+                    shards if shards is not None else 1,
+                    trace_dir,
+                    pipeline,
+                    storage,
+                ),
             ) as pool:
                 results = list(pool.map(_run_task, pending, chunksize=1))
         else:

@@ -345,6 +345,10 @@ class _WorkerConfig:
     #: deterministic (sim time, shard, seq) order.
     trace: bool = False
     traffic_record_cap: Optional[int] = None
+    #: Storage backend spec (``None`` = worker-process default, i.e.
+    #: memory).  Explicit sqlite paths are suffixed per shard by the
+    #: worker's ExspanNetwork so forked processes never share one WAL.
+    storage: Optional[str] = None
 
 
 def _worker_main(conn, config: _WorkerConfig) -> None:
@@ -384,6 +388,7 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
                 compact_min_cancelled=config.compact_min_cancelled,
                 compact_ratio=config.compact_ratio,
                 traffic_record_cap=config.traffic_record_cap,
+                storage=config.storage,
             ),
             tracer=tracer,
         )
@@ -400,6 +405,10 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
             command = conn.recv()
             verb = command[0]
             if verb == "stop":
+                # Flush the write-behind storage journal (and release the
+                # per-shard WAL) before the worker process exits, so an
+                # explicit-path sqlite mirror is complete on disk.
+                net.close_storage()
                 conn.send(("ok", None))
                 return
             if verb == "seed":
@@ -528,6 +537,7 @@ class ShardedExspanNetwork:
         query_specs: Sequence[Any] = (),
         tracer: Any = None,
         traffic_record_cap: Optional[int] = None,
+        storage: Optional[str] = None,
     ):
         from ..core.modes import ProvenanceMode
         from ..obs import runtime as obs_runtime
@@ -585,6 +595,7 @@ class ShardedExspanNetwork:
                 query_specs=tuple(query_specs),
                 trace=self.tracer is not None,
                 traffic_record_cap=traffic_record_cap,
+                storage=storage,
             )
             process = self._context.Process(
                 target=_worker_main, args=(child_conn, config), daemon=True

@@ -213,6 +213,17 @@ class ExspanService:
         fixpoint_time = self.network.run_to_fixpoint()
         return {**self._clock(), "fixpoint_time": fixpoint_time}
 
+    def op_snapshot(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        path = params.get("path")
+        _require(
+            isinstance(path, str) and bool(path),
+            "snapshot requires a non-empty 'path'",
+        )
+        # checkpoint() quiesces the network first (a checkpoint of a
+        # mid-flight simulation cannot carry the scheduled closures).
+        summary = self.network.checkpoint(path)
+        return {**self._clock(), **summary, "storage": self.network.storage_stats()}
+
     # ------------------------------------------------------------------ #
     # statistics and explanations
     # ------------------------------------------------------------------ #

@@ -17,7 +17,7 @@ lines echoed, no wall-clock anywhere) for the golden-transcript CI gate.
 from __future__ import annotations
 
 import sys
-from typing import Any, Dict, List, Optional, Sequence, TextIO
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO
 
 from ..core.errors import ProvenanceError
 from ..service.client import ServiceClient, ServiceError
@@ -44,6 +44,7 @@ Specials
   \\stats                           network traffic statistics
   \\metrics                         metrics registry snapshot
   \\trace on|off                    per-query sim-time timing lines
+  \\snapshot PATH                   checkpoint the network state to a file
   \\shutdown                        drain and stop the connected service
   \\help                            this text
   \\q                               quit"""
@@ -96,11 +97,20 @@ class ExspanShell:
         out: TextIO = sys.stdout,
         echo: bool = False,
         default_spec: str = "polynomial",
+        interactive: bool = False,
+        pager: Optional[Callable[[str], None]] = None,
+        page_threshold: int = 24,
     ) -> None:
         self.client = client
         self.out = out
         self.echo = echo
         self.default_spec = default_spec
+        #: Long output (derivation trees, table dumps, EXPLAIN text) goes
+        #: through a pager only in interactive mode; scripted transcripts
+        #: stay plain so the golden-transcript CI gate never sees one.
+        self.interactive = interactive
+        self.pager = pager
+        self.page_threshold = page_threshold
         self.trace = False
         self.running = True
         self._ensure_spec(default_spec)
@@ -110,6 +120,51 @@ class ExspanShell:
     # ------------------------------------------------------------------ #
     def _print(self, text: str = "") -> None:
         self.out.write(text + "\n")
+
+    def _page(self, text: str) -> None:
+        """Print *text*, routing through a pager when it would scroll away.
+
+        Only interactive sessions page; anything at or under
+        ``page_threshold`` lines prints directly either way.  An injected
+        ``pager`` callable wins, then ``$PAGER``, then the built-in
+        screenful-at-a-time fallback.
+        """
+        if not self.interactive or text.count("\n") + 1 <= self.page_threshold:
+            self._print(text)
+            return
+        if self.pager is not None:
+            self.pager(text)
+            return
+        if self._external_pager(text):
+            return
+        self._builtin_pager(text)
+
+    def _external_pager(self, text: str) -> bool:
+        import os
+        import subprocess
+
+        command = os.environ.get("PAGER", "").strip()
+        if not command:
+            return False
+        try:
+            subprocess.run(command, input=text + "\n", shell=True, check=False, text=True)
+            return True
+        except OSError:  # pragma: no cover - PAGER misconfigured
+            return False
+
+    def _builtin_pager(self, text: str) -> None:
+        lines = text.split("\n")
+        step = max(self.page_threshold, 1)
+        for start in range(0, len(lines), step):
+            self._print("\n".join(lines[start : start + step]))
+            if start + step < len(lines):
+                try:
+                    reply = input("--More-- (Enter continues, q stops) ")
+                except (EOFError, KeyboardInterrupt):
+                    self._print("")
+                    return
+                if reply.strip().lower().startswith("q"):
+                    return
 
     def _ensure_spec(self, kind: str) -> str:
         return self.client.call("register_spec", spec={"kind": kind})["name"]
@@ -136,6 +191,7 @@ class ExspanShell:
             "\\stats",
             "\\metrics",
             "\\trace",
+            "\\snapshot",
             "\\shutdown",
             "\\help",
             "\\q",
@@ -220,7 +276,7 @@ class ExspanShell:
             if not args:
                 raise ProvenanceError("\\explain needs a rule label")
             result = self.client.call("explain", rule=args[0])
-            self._print(result["text"])
+            self._page(result["text"])
         elif command == "\\prov":
             if not args:
                 raise ProvenanceError("\\prov needs a fact")
@@ -228,7 +284,15 @@ class ExspanShell:
             if len(args) > 1:
                 params["depth"] = int(args[1])
             result = self.client.call("prov", **params)
-            self._print(result["tree"])
+            self._page(result["tree"])
+        elif command == "\\snapshot":
+            if not args:
+                raise ProvenanceError("\\snapshot needs a file path")
+            result = self.client.call("snapshot", path=args[0])
+            self._print(
+                f"snapshot: {result['path']} ({result['nodes']} nodes, "
+                f"{result['bytes']} bytes); now={result['now']:.6f}"
+            )
         elif command == "\\stats":
             self._stats()
         elif command == "\\metrics":
@@ -266,10 +330,12 @@ class ExspanShell:
 
     def _tuples(self, table: str) -> None:
         rows = self.client.call("tuples", table=table)["rows"]
-        for node, values in rows:
-            rendered = ",".join(str(value) for value in values)
-            self._print(f"{node}: {table}({rendered})")
-        self._print(f"({len(rows)} rows)")
+        lines = [
+            f"{node}: {table}({','.join(str(value) for value in values)})"
+            for node, values in rows
+        ]
+        lines.append(f"({len(rows)} rows)")
+        self._page("\n".join(lines))
 
     def _stats(self) -> None:
         stats = self.client.call("stats")

@@ -85,7 +85,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     scripted = args.command is not None or not sys.stdin.isatty()
     try:
         with ServiceClient(*address) as client:
-            shell = ExspanShell(client, out=sys.stdout, echo=scripted)
+            shell = ExspanShell(
+                client, out=sys.stdout, echo=scripted, interactive=not scripted
+            )
             if args.command is not None:
                 shell.run_script(_split_commands(args.command))
             elif scripted:

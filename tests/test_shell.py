@@ -9,6 +9,7 @@ against the same file, so the transcript also pins the wire protocol.
 """
 
 import io
+import os
 from pathlib import Path
 
 import pytest
@@ -110,6 +111,66 @@ class TestShellCommands:
         assert "trace: issued=" in out.getvalue()
         repl.handle("\\trace off")
         assert repl.trace is False
+
+    def test_snapshot_writes_checkpoint(self, shell_service, tmp_path):
+        out = io.StringIO()
+        path = str(tmp_path / "session.ckpt")
+        with ServiceClient(*shell_service.address) as client:
+            repl = ExspanShell(client, out=out, echo=False)
+            repl.handle(f"\\snapshot {path}")
+        assert f"snapshot: {path} (5 nodes," in out.getvalue()
+        assert os.path.getsize(path) > 0
+
+    def test_snapshot_requires_path(self, shell):
+        repl, out = shell
+        repl.handle("\\snapshot")
+        assert "needs a file path" in out.getvalue()
+
+
+class TestShellPager:
+    def test_long_output_routes_through_pager_when_interactive(self, shell_service):
+        out = io.StringIO()
+        paged = []
+        with ServiceClient(*shell_service.address) as client:
+            repl = ExspanShell(
+                client,
+                out=out,
+                echo=False,
+                interactive=True,
+                pager=paged.append,
+                page_threshold=3,
+            )
+            repl.handle("tuples link")
+        assert len(paged) == 1
+        assert "link" in paged[0]
+        assert "link" not in out.getvalue()
+
+    def test_short_output_prints_directly(self, shell_service):
+        out = io.StringIO()
+        paged = []
+        with ServiceClient(*shell_service.address) as client:
+            repl = ExspanShell(
+                client,
+                out=out,
+                echo=False,
+                interactive=True,
+                pager=paged.append,
+                page_threshold=100,
+            )
+            repl.handle("tuples link")
+        assert paged == []
+        assert "link" in out.getvalue()
+
+    def test_scripted_sessions_never_page(self, shell_service):
+        out = io.StringIO()
+        paged = []
+        with ServiceClient(*shell_service.address) as client:
+            repl = ExspanShell(
+                client, out=out, echo=False, pager=paged.append, page_threshold=1
+            )
+            repl.handle("tuples link")
+        assert paged == []
+        assert "link" in out.getvalue()
 
 
 def test_golden_transcript():

@@ -1,0 +1,305 @@
+"""Pluggable storage engine: spec parsing, byte-identity, sqlite mirror.
+
+The storage backend is an execution-environment knob (the ``--shards`` /
+``--pipeline`` convention): results must be byte-identical under any
+backend.  These tests pin that contract — the memory default adds
+nothing, the sqlite mirror tracks the engines through inserts *and*
+deletes, metrics only appear when a persistent backend is attached, and
+an in-process checkpoint round-trip (including aggregate-rule state)
+reproduces every digest and keeps evolving identically afterwards.
+"""
+
+import os
+
+import pytest
+
+from repro.core.api import ExspanNetwork
+from repro.core.config import ExspanConfig
+from repro.core.errors import ProvenanceError
+from repro.core.rewrite import PROV_TABLE, RULE_EXEC_TABLE
+from repro.datalog.ast import is_event_predicate
+from repro.net.sharding import node_state_digest
+from repro.net.topology import ring_topology
+from repro.protocols.mincost import mincost_program
+from repro.storage import (
+    STORAGE_BACKENDS,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    StorageError,
+    default_storage,
+    make_backend,
+    parse_storage_spec,
+    set_default_storage,
+)
+
+
+def _digests(network):
+    return {
+        address: node_state_digest(node.engine)
+        for address, node in network.nodes.items()
+    }
+
+
+def _run_mincost(storage=None, size=6, seed=1):
+    config = ExspanConfig(seed=0)
+    if storage is not None:
+        config = ExspanConfig(seed=0, storage=storage)
+    network = ExspanNetwork(ring_topology(size, seed=seed), mincost_program(), config=config)
+    network.seed_links()
+    network.run_to_fixpoint()
+    return network
+
+
+# ---------------------------------------------------------------------- #
+# spec parsing, factory, process-wide default
+# ---------------------------------------------------------------------- #
+def test_parse_storage_spec():
+    assert parse_storage_spec("memory") == ("memory", None)
+    assert parse_storage_spec("sqlite") == ("sqlite", None)
+    assert parse_storage_spec("sqlite:/tmp/x.db") == ("sqlite", "/tmp/x.db")
+
+
+@pytest.mark.parametrize("bad", ["", "postgres", "memory:/tmp/x", "sqlite:"])
+def test_parse_storage_spec_rejects(bad):
+    with pytest.raises(StorageError):
+        parse_storage_spec(bad)
+
+
+def test_make_backend_kinds(tmp_path):
+    memory = make_backend("memory")
+    assert isinstance(memory, MemoryBackend)
+    assert not memory.persistent and not memory.supports_sql
+    path = str(tmp_path / "prov.sqlite")
+    sqlite = make_backend(f"sqlite:{path}")
+    assert isinstance(sqlite, SqliteBackend)
+    assert sqlite.persistent and sqlite.supports_sql
+    assert sqlite.path == path
+    assert os.path.exists(path)
+    sqlite.close()
+    assert os.path.exists(path)  # explicit paths survive close
+
+
+def test_ephemeral_sqlite_removed_on_close():
+    backend = make_backend("sqlite")
+    path = backend.path
+    assert path is not None and os.path.exists(path)
+    backend.close()
+    assert not os.path.exists(path)
+
+
+def test_default_storage_knob():
+    assert default_storage() == "memory"
+    set_default_storage("sqlite")
+    try:
+        assert default_storage() == "sqlite"
+        assert isinstance(make_backend(), SqliteBackend)
+    finally:
+        set_default_storage("memory")
+    assert isinstance(make_backend(), MemoryBackend)
+    with pytest.raises(StorageError):
+        set_default_storage("bogus")
+
+
+def test_memory_backend_rejects_sql():
+    backend = make_backend("memory")
+    with pytest.raises(StorageError):
+        backend.sql_query("reachable", "deadbeef")
+
+
+def test_backend_registry_names():
+    assert STORAGE_BACKENDS == ("memory", "sqlite")
+    assert MemoryBackend.kind == "memory"
+    assert SqliteBackend.kind == "sqlite"
+    assert issubclass(MemoryBackend, StorageBackend)
+    assert issubclass(SqliteBackend, StorageBackend)
+
+
+# ---------------------------------------------------------------------- #
+# config surface
+# ---------------------------------------------------------------------- #
+def test_config_validates_storage_spec():
+    assert ExspanConfig(storage="sqlite").storage == "sqlite"
+    with pytest.raises(ProvenanceError):
+        ExspanConfig(storage="flatfile")
+
+
+def test_config_to_dict_omits_default_storage():
+    assert "storage" not in ExspanConfig().to_dict()
+    assert ExspanConfig(storage="sqlite").to_dict()["storage"] == "sqlite"
+
+
+# ---------------------------------------------------------------------- #
+# byte-identity across backends
+# ---------------------------------------------------------------------- #
+def test_sqlite_backend_bit_identical_to_memory():
+    memory_net = _run_mincost()
+    sqlite_net = _run_mincost(storage="sqlite")
+    try:
+        assert _digests(sqlite_net) == _digests(memory_net)
+        assert sqlite_net.stats_snapshot() == memory_net.stats_snapshot()
+    finally:
+        sqlite_net.close_storage()
+
+
+def test_sqlite_mirror_tracks_inserts_and_deletes(tmp_path):
+    path = str(tmp_path / "mirror.sqlite")
+    network = _run_mincost(storage=f"sqlite:{path}")
+    try:
+        network.storage_flush()
+        counts = network.storage.graph_counts()
+        assert counts["tuples"] > 0
+        assert counts["prov"] > 0
+        assert counts["rule_exec"] > 0
+        # prov/ruleExec live in their own relations; everything else is in
+        # `tuples`.  Together they account for every materialized row.
+        assert (
+            counts["tuples"] + counts["prov"] + counts["rule_exec"]
+            == network.storage.row_count()
+        )
+
+        # Mirror the engines exactly: every non-event row of every node
+        # must appear in the `tuples` table, and nothing else.
+        expected = set()
+        for address, node in network.nodes.items():
+            for table in node.engine.catalog.tables():
+                if is_event_predicate(table.name):
+                    continue
+                if table.name in (PROV_TABLE, RULE_EXEC_TABLE):
+                    continue
+                for row in table.rows():
+                    expected.add((address, table.name, tuple(row)))
+        mirrored = {
+            (node, name, tuple(row))
+            for node, name, row, _vid in network.storage.tuple_rows()
+        }
+        assert mirrored == expected
+
+        # A deletion must propagate: retract a link and re-run.
+        before = network.storage.graph_counts()["tuples"]
+        network.remove_link("n0", "n1")
+        network.run_to_fixpoint()
+        after = network.storage.graph_counts()["tuples"]
+        assert after != before
+        # Deleted rows really leave the database, not just the engines.
+        engine_rows = sum(
+            len(table)
+            for node in network.nodes.values()
+            for table in node.engine.catalog.tables()
+            if not is_event_predicate(table.name)
+            and table.name not in (PROV_TABLE, RULE_EXEC_TABLE)
+        )
+        assert after == engine_rows
+    finally:
+        network.close_storage()
+
+
+def test_storage_metrics_only_under_persistent_backend():
+    memory_net = _run_mincost()
+    snapshot = memory_net.metrics_snapshot()
+    assert not any(
+        key.startswith("cache.storage.")
+        for family in ("counters", "gauges")
+        for key in snapshot[family]
+    )
+
+    sqlite_net = _run_mincost(storage="sqlite")
+    try:
+        sqlite_net.storage_flush()
+        snapshot = sqlite_net.metrics_snapshot()
+        counters = snapshot["counters"]
+        assert counters["cache.storage.journal_appends"] > 0
+        assert counters["cache.storage.flushes"] >= 1
+        assert snapshot["gauges"]["cache.storage.rows"] == (
+            sqlite_net.storage.row_count()
+        )
+    finally:
+        sqlite_net.close_storage()
+
+
+def test_storage_stats_shape():
+    network = _run_mincost(storage="sqlite")
+    try:
+        stats = network.storage_stats()
+        assert stats["kind"] == "sqlite"
+        assert stats["persistent"] is True
+        for key in ("journal_appends", "flushes", "flushed_ops", "sql_queries"):
+            assert key in stats
+    finally:
+        network.close_storage()
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint / restore round-trip (in-process)
+# ---------------------------------------------------------------------- #
+def _checkpoint_round_trip(tmp_path, storage=None):
+    topology = ring_topology(6, seed=3)
+    network = ExspanNetwork(
+        topology,
+        mincost_program(),
+        config=ExspanConfig(seed=0, storage=storage) if storage else ExspanConfig(seed=0),
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    path = str(tmp_path / "net.ckpt")
+    summary = network.checkpoint(path)
+    assert summary["path"] == path
+    assert summary["nodes"] == 6
+    assert summary["bytes"] > 0
+
+    restored = ExspanNetwork.restore(
+        path,
+        topology,
+        mincost_program(),
+        storage=storage,
+    )
+    return network, restored
+
+
+def test_checkpoint_restore_byte_identical(tmp_path):
+    network, restored = _checkpoint_round_trip(tmp_path)
+    assert _digests(restored) == _digests(network)
+    # Engine counters ride along in the snapshot; traffic counters don't
+    # (a restored process never re-sent the original messages).
+    assert restored.planner_stats() == network.planner_stats()
+    assert restored.now == network.now
+
+
+def test_checkpoint_restore_then_evolve_identically(tmp_path):
+    """The restored network must keep *evolving* identically.
+
+    This is the aggregate-state test: `min<C>` keeps per-group value
+    multisets outside the tables, and without them a restored network
+    never retracts a stale minimum when the winning path disappears.
+    """
+    network, restored = _checkpoint_round_trip(tmp_path)
+    for net in (network, restored):
+        net.remove_link("n0", "n1")
+        net.run_to_fixpoint()
+        net.add_link("n2", "n5", cost=2)
+        net.run_to_fixpoint()
+    assert _digests(restored) == _digests(network)
+    assert sorted(restored.tuples("bestPathCost")) == sorted(
+        network.tuples("bestPathCost")
+    )
+
+
+def test_checkpoint_restore_onto_sqlite(tmp_path):
+    """Restoring onto a persistent backend replays rows into the mirror."""
+    network, restored = _checkpoint_round_trip(tmp_path, storage="sqlite")
+    try:
+        assert _digests(restored) == _digests(network)
+        restored.storage_flush()
+        assert restored.storage.row_count() > 0
+        assert restored.storage.counters["restores"] == 1
+    finally:
+        network.close_storage()
+        restored.close_storage()
+
+
+def test_restore_rejects_mismatched_topology(tmp_path):
+    network = _run_mincost(size=6, seed=3)
+    path = str(tmp_path / "net.ckpt")
+    network.checkpoint(path)
+    with pytest.raises(ProvenanceError):
+        ExspanNetwork.restore(path, ring_topology(5, seed=3), mincost_program())

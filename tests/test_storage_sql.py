@@ -1,0 +1,178 @@
+"""SQL provenance path vs the in-RAM graph and the distributed engine.
+
+The sqlite backend's pre/post-order interval encoding turns provenance
+reachability into indexed range scans plus one recursive interval-closure
+CTE.  That makes it a *second, independent* oracle for the same
+questions the paper's distributed query engine answers — so every kind
+is cross-checked here against both:
+
+* the in-RAM :class:`~repro.core.provenance_graph.ProvenanceGraph`
+  (``nodes_involved`` / ``reachable_base_tuples``), and
+* the distributed query engine itself
+  (``net.execute(QueryRequest(..., SpecDescriptor(kind=...)))``).
+
+A PATHVECTOR case exercises cyclic provenance (mutually-derivable
+paths): the CTE's ``UNION`` dedup is what makes it terminate.
+"""
+
+import pytest
+
+from repro.core.api import ExspanNetwork
+from repro.core.config import ExspanConfig
+from repro.core.errors import ProvenanceError
+from repro.core.requests import QueryRequest, SpecDescriptor
+from repro.core.vid import fact_vid
+from repro.datalog.ast import Fact
+from repro.net.topology import ring_topology
+from repro.protocols.mincost import mincost_program
+from repro.protocols.pathvector import pathvector_program
+from repro.storage import SQL_QUERY_KINDS, StorageError
+
+
+@pytest.fixture(scope="module")
+def mincost_net():
+    network = ExspanNetwork(
+        ring_topology(6, seed=1),
+        mincost_program(),
+        config=ExspanConfig(seed=0, storage="sqlite"),
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    yield network
+    network.close_storage()
+
+
+def _query_facts(network, table="bestPathCost", limit=6):
+    facts = sorted((node, values) for node, values in network.tuples(table))
+    return [Fact(table, values) for _node, values in facts[:limit]]
+
+
+# ---------------------------------------------------------------------- #
+# vs the in-RAM provenance graph
+# ---------------------------------------------------------------------- #
+def test_sql_matches_graph_oracle(mincost_net):
+    graph = mincost_net.provenance_graph()
+    for fact in _query_facts(mincost_net):
+        vid = fact_vid(fact)
+        assert mincost_net.sql_provenance("derivability", fact) is True
+        assert mincost_net.sql_provenance("nodeset", vid=vid) == sorted(
+            graph.nodes_involved(vid)
+        )
+        assert mincost_net.sql_provenance("reachable_base", vid=vid) == sorted(
+            graph.reachable_base_tuples(vid)
+        )
+
+
+def test_sql_reachable_superset_of_bases(mincost_net):
+    fact = _query_facts(mincost_net, limit=1)[0]
+    vid = fact_vid(fact)
+    reachable = mincost_net.sql_provenance("reachable", fact)
+    bases = mincost_net.sql_provenance("reachable_base", fact)
+    assert vid in reachable
+    assert set(bases) <= set(reachable)
+    # Base tuples of a mincost derivation are links.
+    for base_vid in bases:
+        resolved = mincost_net.storage.fact_for_vid(base_vid)
+        assert resolved is not None and resolved.name == "link"
+
+
+def test_sql_subgraph_edges_consistent(mincost_net):
+    fact = _query_facts(mincost_net, limit=1)[0]
+    vid = fact_vid(fact)
+    reachable = set(mincost_net.sql_provenance("reachable", fact))
+    edges = mincost_net.sql_provenance("subgraph", fact)
+    assert edges, "a derived tuple must have derivation edges"
+    for parent, rid, child in edges:
+        assert parent in reachable
+        assert child in reachable
+        assert isinstance(rid, str) and rid
+    # The subgraph spans the root: every reachable non-root vertex is
+    # some edge's child.
+    children = {child for _parent, _rid, child in edges}
+    assert reachable - children == {vid} or vid in children
+
+
+def test_sql_derivability_false_for_unknown_vid(mincost_net):
+    assert mincost_net.sql_provenance("derivability", vid="0" * 40) is False
+    assert mincost_net.sql_provenance("nodeset", vid="0" * 40) == []
+
+
+# ---------------------------------------------------------------------- #
+# vs the distributed query engine
+# ---------------------------------------------------------------------- #
+def test_sql_nodeset_matches_distributed_engine(mincost_net):
+    for fact in _query_facts(mincost_net):
+        result = mincost_net.execute(
+            QueryRequest(fact=fact, spec=SpecDescriptor(kind="nodeset"))
+        )
+        distributed = sorted(result.result)
+        sql = mincost_net.sql_provenance("nodeset", fact)
+        assert sql == distributed
+
+
+def test_sql_derivability_matches_distributed_engine(mincost_net):
+    facts = _query_facts(mincost_net, limit=3)
+    for fact in facts:
+        result = mincost_net.execute(
+            QueryRequest(fact=fact, spec=SpecDescriptor(kind="derivability"))
+        )
+        assert mincost_net.sql_provenance("derivability", fact) == bool(result.result)
+
+
+# ---------------------------------------------------------------------- #
+# cyclic provenance: PATHVECTOR's mutually-derivable paths
+# ---------------------------------------------------------------------- #
+def test_sql_terminates_on_cyclic_provenance():
+    network = ExspanNetwork(
+        ring_topology(5, seed=2),
+        pathvector_program(),
+        config=ExspanConfig(seed=0, storage="sqlite"),
+    )
+    try:
+        network.seed_links()
+        network.run_to_fixpoint()
+        graph = network.provenance_graph()
+        for fact in _query_facts(network, table="path", limit=8):
+            vid = fact_vid(fact)
+            assert network.sql_provenance("nodeset", vid=vid) == sorted(
+                graph.nodes_involved(vid)
+            )
+            assert network.sql_provenance("reachable_base", vid=vid) == sorted(
+                graph.reachable_base_tuples(vid)
+            )
+    finally:
+        network.close_storage()
+
+
+# ---------------------------------------------------------------------- #
+# error surface
+# ---------------------------------------------------------------------- #
+def test_sql_provenance_argument_validation(mincost_net):
+    fact = _query_facts(mincost_net, limit=1)[0]
+    with pytest.raises(ProvenanceError):
+        mincost_net.sql_provenance("nodeset")
+    with pytest.raises(ProvenanceError):
+        mincost_net.sql_provenance("nodeset", fact, vid="deadbeef")
+    with pytest.raises(StorageError):
+        mincost_net.sql_provenance("frobnicate", fact)
+
+
+def test_sql_requires_persistent_backend():
+    network = ExspanNetwork(
+        ring_topology(4, seed=0), mincost_program(), config=ExspanConfig(seed=0)
+    )
+    network.seed_links()
+    network.run_to_fixpoint()
+    fact = _query_facts(network, limit=1)[0]
+    with pytest.raises(StorageError):
+        network.sql_provenance("nodeset", fact)
+
+
+def test_sql_query_kinds_registry():
+    assert SQL_QUERY_KINDS == (
+        "reachable",
+        "reachable_base",
+        "nodeset",
+        "derivability",
+        "subgraph",
+    )
