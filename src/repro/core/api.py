@@ -307,12 +307,18 @@ class ExspanNetwork:
     def insert_fact(self, fact: Fact, process: bool = True) -> None:
         """Insert a base fact at the node named by its location specifier."""
         engine = self.node(fact.location).engine
+        injector = self.network.fault_injector
+        if injector is not None:
+            injector.note_local_op(fact.location, "insert", fact)
         engine.insert(fact)
         if process:
             engine.run()
 
     def delete_fact(self, fact: Fact, process: bool = True) -> None:
         engine = self.node(fact.location).engine
+        injector = self.network.fault_injector
+        if injector is not None:
+            injector.note_local_op(fact.location, "delete", fact)
         engine.delete(fact)
         if process:
             engine.run()
@@ -381,6 +387,41 @@ class ExspanNetwork:
         return self.simulator.now
 
     # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    @property
+    def fault_injector(self):
+        """The installed :class:`~repro.faults.injector.FaultInjector`,
+        or ``None`` (the fault-free fast path)."""
+        return self.network.fault_injector
+
+    def install_faults(self, plan) -> Optional[Any]:
+        """Install a fault plan; returns the injector (``None`` if empty).
+
+        *plan* is a :class:`~repro.faults.plan.FaultPlan`, a spec string
+        for :func:`~repro.faults.plan.parse_fault_spec`, or ``None``.
+        An empty plan installs nothing at all — the run stays on the
+        exact fault-free code path, which is what makes the empty-plan
+        byte-identity guarantee hold by construction.  Install before
+        driving the simulation; one plan per network.
+        """
+        from ..faults import FaultInjector, FaultPlan, parse_fault_spec
+
+        if plan is None:
+            return None
+        if isinstance(plan, str):
+            plan = parse_fault_spec(plan)
+        if not isinstance(plan, FaultPlan):
+            raise ProvenanceError(
+                f"install_faults takes a FaultPlan or spec string, got {plan!r}"
+            )
+        if plan.is_empty():
+            return None
+        if self.network.fault_injector is not None:
+            raise ProvenanceError("a fault plan is already installed")
+        return FaultInjector(self, plan).install()
+
+    # ------------------------------------------------------------------ #
     # provenance queries — the unified request/response API
     # ------------------------------------------------------------------ #
     def register_spec(self, spec: Union[QuerySpec, SpecDescriptor]) -> str:
@@ -438,7 +479,10 @@ class ExspanNetwork:
         def finish(outcome: QueryOutcome) -> None:
             on_complete(QueryResult.from_outcome(outcome, request, spec_name))
 
-        return service.query(fact_vid(fact), target_node, spec_name, finish)
+        return service.query(
+            fact_vid(fact), target_node, spec_name, finish,
+            deadline=request.deadline,
+        )
 
     def execute(
         self, request: QueryRequest, max_events: Optional[int] = None
@@ -777,6 +821,12 @@ class ExspanNetwork:
             ):
                 registry.inc(f"cache.storage.{key}", storage_stats.get(key, 0))
             registry.set_gauge("cache.storage.rows", storage_stats["rows"])
+        # Fault/transport counters, only when an injector is installed:
+        # fault-free runs (the default) emit nothing here, keeping the
+        # default metrics snapshot and golden transcripts byte-identical.
+        injector = self.network.fault_injector
+        if injector is not None:
+            registry.absorb_counters(injector.stats(), prefix="fault.")
         registry.set_gauge("sim.now", self.simulator.now)
         registry.set_gauge("sim.events_executed", self.simulator.events_executed)
         # Deep copy so a service client polling metrics can never reach the

@@ -151,7 +151,14 @@ class QuerySpec:
 
 @dataclass
 class QueryOutcome:
-    """The completed result of one root provenance query."""
+    """The completed result of one root provenance query.
+
+    ``partial`` is set when the query's deadline expired before the
+    distributed traversal finished: ``result`` then holds the spec's
+    ``missing()`` value and ``unresolved`` lists the issuer-local frontier
+    — the ``(destination, query kind, vertex)`` triples of every remote
+    sub-query still awaiting a reply when the deadline fired.
+    """
 
     query_id: str
     vid: str
@@ -160,6 +167,8 @@ class QueryOutcome:
     completed_at: float
     issuer: Any
     target: Any
+    partial: bool = False
+    unresolved: Tuple[Tuple[str, ...], ...] = ()
 
     @property
     def latency(self) -> float:
@@ -282,12 +291,21 @@ class ProvenanceQueryService:
         # (target node, spec, vid) -> qid of the pending remote root query.
         self._remote_roots: Dict[Tuple[Any, str, str], str] = {}
         self._qid_root: Dict[str, Tuple[Any, str, str]] = {}
+        # qid -> (destination repr, query kind, vertex) of the pending
+        # remote sub-query; the deadline machinery reports this frontier.
+        self._continuation_dest: Dict[str, Tuple[str, str, str]] = {}
         self._sequence = 0
         self.queries_started = 0
         self.queries_completed = 0
         self.coalesced_inflight = 0
         self.coalesced_roots = 0
         self.stale_drops = 0
+        self.deadline_expirations = 0
+        self.late_drops = 0
+        #: Optional hook invoked after each root query is issued with the
+        #: current id sequence; the fault injector journals it so a
+        #: restarted node resumes numbering past every pre-crash query id.
+        self.on_root_issued: Optional[Callable[[int], None]] = None
         host.register_handler(PROV_MESSAGE_KIND, self._on_message)
 
     # ------------------------------------------------------------------ #
@@ -318,12 +336,20 @@ class ProvenanceQueryService:
         target_node: Any,
         spec_name: str,
         on_complete: Callable[[QueryOutcome], None],
+        deadline: Optional[float] = None,
     ) -> str:
         """Issue a root query for *vid* stored at *target_node*.
 
         ``on_complete`` is invoked (at this node) once the provenance result
         has been computed and shipped back.  Any number of root queries may
         be in flight at once.
+
+        ``deadline`` is an optional simulated-time budget: when it elapses
+        before the traversal completes, the query finishes *once* with a
+        partial :class:`QueryOutcome` (``result`` is the spec's ``missing``
+        value, ``unresolved`` names the pending remote frontier) and the
+        eventual real result is counted in ``late_drops`` instead of being
+        delivered twice.
         """
         spec = self.spec(spec_name)
         query_id = self._fresh_id()
@@ -345,9 +371,24 @@ class ProvenanceQueryService:
             )
             tc = root_span.context()
 
-        def finish(result: Any, height: _Height) -> None:
+        fired = {"done": False, "timer": None}
+
+        def finish_once(
+            result: Any,
+            partial: bool,
+            unresolved: Tuple[Tuple[str, ...], ...],
+        ) -> None:
+            if fired["done"]:
+                self.late_drops += 1
+                return
+            fired["done"] = True
+            timer = fired["timer"]
+            if timer is not None:
+                timer.cancel()
             self.queries_completed += 1
             if root_span is not None:
+                if partial:
+                    root_span.add(partial=True, unresolved=len(unresolved))
                 root_span.end()
             on_complete(
                 QueryOutcome(
@@ -358,8 +399,23 @@ class ProvenanceQueryService:
                     completed_at=self.clock(),
                     issuer=self.node,
                     target=target_node,
+                    partial=partial,
+                    unresolved=unresolved,
                 )
             )
+
+        def finish(result: Any, height: _Height) -> None:
+            finish_once(result, False, ())
+
+        def expire() -> None:
+            if fired["done"]:  # pragma: no cover - timer raced completion
+                return
+            self.deadline_expirations += 1
+            frontier = tuple(sorted(self._continuation_dest.values()))
+            finish_once(spec.missing(), True, frontier)
+
+        if deadline is not None:
+            fired["timer"] = self.host.network.simulator.schedule(deadline, expire)
 
         self.host.begin_turn()
         try:
@@ -371,6 +427,8 @@ class ProvenanceQueryService:
                 self._ask_remote_root(vid, target_node, spec, query_id, finish, tc=tc)
         finally:
             self.host.end_turn()
+        if self.on_root_issued is not None:
+            self.on_root_issued(self._sequence)
         return query_id
 
     def _ask_remote_root(
@@ -399,6 +457,7 @@ class ProvenanceQueryService:
         self._remote_roots[root] = query_id
         self._qid_root[query_id] = root
         self._continuations[query_id] = [finish]
+        self._continuation_dest[query_id] = (repr(target_node), "provQuery", vid)
         payload = {
             "type": "provQuery",
             "qid": query_id,
@@ -444,6 +503,7 @@ class ProvenanceQueryService:
             root = self._qid_root.pop(qid, None)
             if root is not None and self._remote_roots.get(root) == qid:
                 del self._remote_roots[root]
+            self._continuation_dest.pop(qid, None)
             continuations = self._continuations.pop(qid, None)
             for continuation in continuations or ():
                 continuation(payload["result"], payload.get("h"))
@@ -768,6 +828,7 @@ class ProvenanceQueryService:
             return
         query_id = self._fresh_id()
         self._continuations[query_id] = [on_result]
+        self._continuation_dest[query_id] = (repr(rule_location), "ruleQuery", rid)
         payload = {
             "type": "ruleQuery",
             "qid": query_id,
@@ -913,6 +974,8 @@ class ProvenanceQueryService:
             "coalesced_inflight": self.coalesced_inflight,
             "coalesced_roots": self.coalesced_roots,
             "stale_drops": self.stale_drops,
+            "deadline_expirations": self.deadline_expirations,
+            "late_drops": self.late_drops,
             "cache_entries": cache["entries"],
             "cache_hits": cache["hits"],
             "cache_misses": cache["misses"],

@@ -312,12 +312,18 @@ class QueryRequest:
     (registered on demand), or — for in-process callers only — a live
     :class:`QuerySpec`.  ``target`` defaults to the node named by the
     fact's location specifier; ``issuer`` defaults to the target.
+
+    ``deadline`` (simulated seconds from issue) bounds the distributed
+    resolution: a query that cannot complete in time degrades into a
+    result marked *partial* with an explicit unresolved frontier instead
+    of hanging — see ``docs/PROTOCOL.md``.  ``None`` waits forever.
     """
 
     fact: Fact
     spec: Union[str, SpecDescriptor, QuerySpec]
     issuer: Optional[Any] = None
     target: Optional[Any] = None
+    deadline: Optional[float] = None
 
     @property
     def spec_name(self) -> str:
@@ -343,13 +349,17 @@ class QueryRequest:
             payload["issuer"] = self.issuer
         if self.target is not None:
             payload["target"] = self.target
+        if self.deadline is not None:
+            payload["deadline"] = self.deadline
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "QueryRequest":
         if not isinstance(payload, Mapping):
             raise QueryError(f"malformed query request {payload!r}")
-        unknown = sorted(set(payload) - {"fact", "spec", "issuer", "target"})
+        unknown = sorted(
+            set(payload) - {"fact", "spec", "issuer", "target", "deadline"}
+        )
         if unknown:
             raise QueryError(f"unknown query request keys: {unknown}")
         if "fact" not in payload or "spec" not in payload:
@@ -360,11 +370,17 @@ class QueryRequest:
             spec = raw_spec
         else:
             spec = SpecDescriptor.from_dict(raw_spec)
+        deadline = payload.get("deadline")
+        if deadline is not None and (
+            isinstance(deadline, bool) or not isinstance(deadline, (int, float))
+        ):
+            raise QueryError(f"deadline must be a number, got {deadline!r}")
         return cls(
             fact=decode_fact(payload["fact"]),
             spec=spec,
             issuer=payload.get("issuer"),
             target=payload.get("target"),
+            deadline=float(deadline) if deadline is not None else None,
         )
 
 
@@ -504,14 +520,25 @@ class QueryResult:
     issued_at: float = 0.0
     completed_at: float = 0.0
     result: Any = field(default=None, compare=False)
+    #: True when the query hit its deadline before the distributed
+    #: resolution finished; ``annotation``/``result`` then hold the spec's
+    #: missing-value and ``unresolved`` lists the issuer's outstanding
+    #: remote sub-queries (the unresolved frontier) at expiry.
+    partial: bool = False
+    unresolved: Tuple[Tuple[str, ...], ...] = ()
 
     @property
     def latency(self) -> float:
         return self.completed_at - self.issued_at
 
     def body_dict(self) -> Dict[str, Any]:
-        """The deterministic result content (no ids, no timestamps)."""
-        return {
+        """The deterministic result content (no ids, no timestamps).
+
+        The ``partial`` / ``unresolved`` keys appear only on degraded
+        results, so complete results keep the exact pre-deadline wire
+        bytes (golden-transcript byte identity).
+        """
+        payload = {
             "vid": self.vid,
             "spec": self.spec,
             "issuer": self.issuer,
@@ -519,6 +546,10 @@ class QueryResult:
             "fact": dict(self.fact),
             "annotation": self.annotation,
         }
+        if self.partial:
+            payload["partial"] = True
+            payload["unresolved"] = [list(entry) for entry in self.unresolved]
+        return payload
 
     def canonical_bytes(self) -> bytes:
         """Canonical JSON bytes of the body — the equivalence-gate currency."""
@@ -548,6 +579,11 @@ class QueryResult:
                 issued_at=meta.get("issued_at", 0.0),
                 completed_at=meta.get("completed_at", 0.0),
                 result=decode_annotation(payload["annotation"]),
+                partial=bool(payload.get("partial", False)),
+                unresolved=tuple(
+                    tuple(str(part) for part in entry)
+                    for entry in payload.get("unresolved", ())
+                ),
             )
         except (KeyError, TypeError):
             raise QueryError(f"malformed query result {payload!r}") from None
@@ -568,4 +604,8 @@ class QueryResult:
             issued_at=outcome.issued_at,
             completed_at=outcome.completed_at,
             result=outcome.result,
+            partial=outcome.partial,
+            unresolved=tuple(
+                tuple(str(part) for part in entry) for entry in outcome.unresolved
+            ),
         )

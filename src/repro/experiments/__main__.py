@@ -84,6 +84,7 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
             verbose=arguments.verbose,
             trace_dir=arguments.trace,
             storage=arguments.storage,
+            faults=arguments.faults,
         )
     except KeyError as error:
         # Unknown scenario name / figure number: an error line, not a trace.
@@ -216,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
         "sqlite:<path>; every backend is byte-identical by contract, so "
         "artifacts match the committed baselines under any choice — the "
         "CI durability gate strict-compares a sqlite run against them)",
+    )
+    run_parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="inject a fault plan (parse_fault_spec grammar, e.g. "
+        "'seed=3; drop:*->*:p=0.2,n=20') into every trial network; "
+        "final protocol tables still converge, but traffic counters are "
+        "perturbed, so never compare faulted artifacts against the "
+        "committed baselines — the CI chaos gate checks convergence "
+        "digests instead (benchmarks/chaos_gate.py)",
     )
     run_parser.add_argument(
         "--trace", nargs="?", const="traces", default=None, metavar="DIR",

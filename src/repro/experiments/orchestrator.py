@@ -46,7 +46,7 @@ from .scenarios import (
     run_trial_spec,
 )
 from ..datalog.engine import set_default_pipeline
-from .trials import TRIAL_FUNCTIONS, set_default_shards
+from .trials import TRIAL_FUNCTIONS, set_default_faults, set_default_shards
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -209,8 +209,9 @@ def _configure_worker(
     trace_dir: Optional[str],
     pipeline: Optional[str] = None,
     storage: Optional[str] = None,
+    faults: Optional[str] = None,
 ) -> None:
-    """Process-pool initializer: shard count, trace dir, pipeline, storage."""
+    """Process-pool initializer: shard count, trace dir, pipeline, storage, faults."""
     global _TRACE_DIR
     set_default_shards(shards)
     if pipeline is not None:
@@ -219,6 +220,8 @@ def _configure_worker(
         from ..storage.backend import set_default_storage
 
         set_default_storage(storage)
+    if faults is not None:
+        set_default_faults(faults)
     _TRACE_DIR = trace_dir
 
 
@@ -301,6 +304,7 @@ def run(
     verbose: bool = False,
     trace_dir: Optional[str] = None,
     storage: Optional[str] = None,
+    faults: Optional[str] = None,
 ) -> RunReport:
     """Run scenarios and write one ``BENCH_<scenario>.json`` per scenario.
 
@@ -335,6 +339,13 @@ def run(
     backend is byte-identical by contract, and the CI durability gate
     re-runs a scenario under ``storage="sqlite"`` and strict-compares the
     artifact against the committed memory-backend baselines.
+    ``faults`` is the one knob that deliberately breaks the byte-identity
+    convention: it installs a process-wide fault plan (a
+    ``parse_fault_spec`` string) into every trial network, perturbing the
+    message-level traffic counters — so faulted artifacts are for chaos
+    experimentation, never for comparing against the committed baselines.
+    The invariant faults *do* preserve is convergence of the final
+    protocol tables, which ``benchmarks/chaos_gate.py`` gates by digest.
     """
     global _TRACE_DIR
     if shards is not None:
@@ -345,6 +356,8 @@ def run(
         from ..storage.backend import set_default_storage
 
         set_default_storage(storage)
+    if faults is not None:
+        set_default_faults(faults)
     scenarios = resolve_scenarios(names)
     report = RunReport(scale=scale, workers=workers)
 
@@ -405,6 +418,7 @@ def run(
                     trace_dir,
                     pipeline,
                     storage,
+                    faults,
                 ),
             ) as pool:
                 results = list(pool.map(_run_task, pending, chunksize=1))

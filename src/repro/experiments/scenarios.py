@@ -708,6 +708,62 @@ def _expand_planner_ablation(params: Mapping[str, Any]) -> List[TrialSpec]:
     ]
 
 
+def _expand_chaos(params: Mapping[str, Any]) -> List[TrialSpec]:
+    fixed = _pick(params, "size", "mode", "seed")
+    return [
+        TrialSpec(
+            scenario=params["_scenario"],
+            trial_id=f"program={program}/plan={name}/shards={shards}",
+            fn="chaos_convergence",
+            kwargs={"program": program, "faults": spec, "shards": shards, **fixed},
+        )
+        for program in params["programs"]
+        for name, spec in params["plans"]
+        for shards in params["shards"]
+    ]
+
+
+_scenario(
+    "chaos_convergence",
+    _expand_chaos,
+    title="Fault-plan convergence vs the fault-free digest",
+    x_label="Number of Nodes",
+    y_label="Converged (1 = digest match)",
+    description=(
+        "Registry-only sweep: MINCOST and PATHVECTOR fixpoints under "
+        "injected faults (message drops, duplicates + delays, node "
+        "crash/restart, link flaps), serial and sharded with worker "
+        "supervision.  Every point must sit at 1.0: a quiescing fault "
+        "plan yields final protocol tables digest-identical to the "
+        "fault-free run — the fault subsystem's headline oracle, which "
+        "the CI chaos gate enforces."
+    ),
+    quick={
+        "programs": ("mincost", "pathvector", "packetforward"),
+        "plans": (
+            ("drops", "seed=3; attempts=8; drop:*->*:p=0.2,n=20"),
+            ("dup-delay", "seed=5; dup:*->*:p=0.15,n=12; delay:*->*:p=0.2,d=0.004"),
+            ("crash", "attempts=8; crash:n1@0.001:restart=0.01"),
+            ("flap", "attempts=8; flap:n0-n1@0.001:up=0.008"),
+        ),
+        "shards": (1, 2),
+        "size": 8,
+        "mode": "ref",
+        "seed": 0,
+    },
+    paper={
+        "size": 16,
+        "plans": (
+            ("drops", "seed=3; attempts=10; drop:*->*:p=0.3,n=60"),
+            ("dup-delay", "seed=5; dup:*->*:p=0.2,n=40; delay:*->*:p=0.3,d=0.004"),
+            ("crash", "attempts=10; crash:n1@0.001:restart=0.02"),
+            ("flap", "attempts=10; flap:n0-n1@0.001:up=0.01"),
+        ),
+        "shards": (1, 2, 4),
+    },
+)
+
+
 _scenario(
     "planner_ablation",
     _expand_planner_ablation,

@@ -39,9 +39,10 @@ from ..core.modes import ProvenanceMode
 from ..core.query import TraversalOrder
 from ..datalog import Fact, StandaloneNetwork
 from ..datalog.ast import Program
-from ..net.sharding import ShardedExspanNetwork, collect_summary
+from ..net.sharding import ScriptOp, ShardedExspanNetwork, collect_summary
 from ..net.stats import cdf_points
 from ..net.topology import (
+    LinkSpec,
     Topology,
     cluster_topology,
     grid_topology,
@@ -61,6 +62,8 @@ __all__ = [
     "build_network",
     "set_default_shards",
     "resolve_shards",
+    "set_default_faults",
+    "resolve_faults",
     "fixpoint_summary",
     "size_topology",
     "scale_topology",
@@ -79,6 +82,7 @@ __all__ = [
     "testbed_bandwidth_trial",
     "testbed_fixpoint_trial",
     "planner_fixpoint_trial",
+    "chaos_convergence_trial",
 ]
 
 #: Figure legend labels, in the order the paper lists them.
@@ -117,13 +121,18 @@ def build_network(
 
     ``planner`` selects the per-node evaluation strategy (``"greedy"`` /
     ``"naive"``); ``None`` uses the process-wide default, which
-    ``repro.experiments.runner --planner`` controls.
+    ``repro.experiments.runner --planner`` controls.  When a process-wide
+    fault plan is set (``--faults``), it is installed before the network
+    is seeded, so the whole fixpoint runs under injected faults.
     """
     network = ExspanNetwork(
         topology,
         program,
         config=ExspanConfig(mode=mode, seed=seed, planner=planner),
     )
+    plan = resolve_faults(None)
+    if plan is not None:
+        network.install_faults(plan)
     network.seed_links()
     if run_to_fixpoint:
         network.run_to_fixpoint()
@@ -151,6 +160,28 @@ def resolve_shards(explicit: Optional[int]) -> int:
     return DEFAULT_SHARDS if explicit is None else max(1, int(explicit))
 
 
+#: Process-wide default fault plan (a ``parse_fault_spec`` string) injected
+#: into every trial network, or ``None`` for fault-free runs.  Unlike
+#: ``DEFAULT_SHARDS`` this knob is **not** byte-identity preserving on
+#: traffic counters — retransmits and duplicate suppression change the
+#: message-level series — so faulted artifacts must never be compared
+#: against the committed baselines.  What *is* preserved is convergence:
+#: any quiescing plan yields the same final protocol tables, which the
+#: chaos gate (``benchmarks/chaos_gate.py``) checks by digest.
+DEFAULT_FAULTS: Optional[str] = None
+
+
+def set_default_faults(faults: Optional[str]) -> None:
+    """Set the process-wide fault-plan default (orchestrator ``--faults``)."""
+    global DEFAULT_FAULTS
+    DEFAULT_FAULTS = faults or None
+
+
+def resolve_faults(explicit: Optional[str]) -> Optional[str]:
+    """Effective fault spec: the explicit kwarg, else the process default."""
+    return DEFAULT_FAULTS if explicit is None else (explicit or None)
+
+
 def fixpoint_summary(
     topology: Topology,
     program: Program,
@@ -171,7 +202,8 @@ def fixpoint_summary(
         network = build_network(topology, program, mode, seed=seed, planner=planner)
         return collect_summary(network)
     with ShardedExspanNetwork(
-        topology, program, mode=mode, shards=count, seed=seed, planner=planner
+        topology, program, mode=mode, shards=count, seed=seed, planner=planner,
+        faults=resolve_faults(None),
     ) as sharded:
         sharded.seed_links()
         sharded.run_to_fixpoint()
@@ -848,6 +880,113 @@ def planner_fixpoint_trial(
     )
 
 
+# ---------------------------------------------------------------------- #
+# Chaos convergence (registry-only): fault plans vs the fault-free digest
+# ---------------------------------------------------------------------- #
+def chaos_topology(size: int, seed: int = 0) -> Topology:
+    """A tie-free ring: distinct power-of-two link costs, rotated by *seed*.
+
+    Any two distinct simple paths traverse different link subsets, and
+    sums of distinct powers of two are unique — so no two paths ever tie
+    on cost.  That matters because PATHVECTOR breaks equal-cost ties by
+    *arrival order* (RapidNet materialize semantics: the keyed
+    ``bestPath`` keeps whichever winner lands last), which is documented
+    order-dependence, not divergence; a tie-free topology is what makes
+    "final tables digest-match the fault-free run" a sound oracle under
+    fault plans that perturb message timing.
+    """
+    topology = Topology(name=f"chaosring:{size}")
+    for index in range(size):
+        a, b = f"n{index}", f"n{(index + 1) % size}"
+        cost = 2 ** ((index + seed) % size)
+        topology.add_link(a, b, LinkSpec(latency=0.001, cost=cost))
+    return topology
+
+
+def chaos_convergence_trial(
+    program: str,
+    size: int,
+    faults: str,
+    shards: int = 1,
+    mode: str = "ref",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fixpoint one tie-free ring under a fault plan and check convergence.
+
+    Runs the same (program, topology) twice: fault-free serial for the
+    reference convergence digest, then under *faults* (serial or sharded
+    with supervision).  The y value is 1.0 when the faulted run's final
+    protocol tables digest-match the fault-free run — the subsystem's
+    headline oracle — and the traffic section records the injector's
+    counters (drops, retransmits, duplicates suppressed, crashes) so a
+    sweep shows how much adversity each plan actually injected.
+
+    ``program="packetforward"`` runs the data plane: PATHVECTOR builds
+    the routes, packets are injected post-fixpoint, and the convergence
+    check covers the materialized ``recvPacket`` deliveries too.
+    """
+    from ..faults import convergence_digest
+    from ..protocols.packetforward import packet_event
+
+    topology = chaos_topology(size, seed=seed)
+    packets: List[Any] = []
+    if program == "packetforward":
+        resolved = pathvector_program().extended(packetforward_program(), "pv+fwd")
+        payload = "x" * 16
+        packets = [
+            packet_event("n0", "n0", f"n{size // 2}", payload),
+            packet_event(f"n{size - 1}", f"n{size - 1}", "n1", payload),
+        ]
+    else:
+        resolved = _program(program)
+
+    def serial_run(plan):
+        network = ExspanNetwork(
+            topology, resolved, config=ExspanConfig(mode=_mode(mode), seed=seed)
+        )
+        if plan is not None:
+            network.install_faults(plan)
+        network.seed_links()
+        network.run_to_fixpoint()
+        for packet in packets:
+            network.insert_fact(packet)
+            network.run_to_fixpoint()
+        return network
+
+    expected = convergence_digest(serial_run(None))
+
+    if shards <= 1:
+        network = serial_run(faults)
+        digest = convergence_digest(network)
+        injector = network.fault_injector
+        fault_stats = dict(injector.stats()) if injector is not None else {}
+    else:
+        with ShardedExspanNetwork(
+            topology, resolved, mode=_mode(mode), shards=shards, seed=seed,
+            faults=faults, supervise=True,
+        ) as sharded:
+            sharded.seed_links()
+            sharded.run_to_fixpoint()
+            for packet in packets:
+                sharded.apply_ops([ScriptOp(kind="insert", fact=packet)])
+            digest = sharded.convergence_digest()
+            fault_stats = dict(sharded.fault_stats())
+
+    converged = digest == expected
+    label = f"{program} shards={shards}"
+    notes = {
+        f"{label} plan": faults,
+        f"{label} converged": converged,
+        f"{label} digest": digest[:16],
+    }
+    return trial_result(
+        {label: [[size, 1.0 if converged else 0.0]]},
+        notes,
+        {},
+        fault_stats,
+    )
+
+
 #: Registry used by the orchestrator's worker processes: trial functions are
 #: referenced by name in trial specs and artifacts, never pickled directly.
 TRIAL_FUNCTIONS: Dict[str, Callable[..., Dict[str, Any]]] = {
@@ -865,4 +1004,5 @@ TRIAL_FUNCTIONS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "testbed_fixpoint": testbed_fixpoint_trial,
     "planner_fixpoint": planner_fixpoint_trial,
     "scale_fixpoint": scale_fixpoint_trial,
+    "chaos_convergence": chaos_convergence_trial,
 }

@@ -1,28 +1,68 @@
-"""Exception types for the network simulation substrate."""
+"""Exception types for the network simulation substrate.
+
+Every error carries structured fields (the node, edge or time it is
+about) plus a stable ``code``/``details()`` pair so the service layer
+(:mod:`repro.service.server`) can map it to a distinct wire error code
+with machine-readable context instead of a catch-all ``internal``.
+"""
 
 from __future__ import annotations
+
+from typing import Any, Dict
 
 
 class NetworkError(Exception):
     """Base class for all network-substrate errors."""
 
+    #: Stable service-protocol error code; subclasses override.
+    code = "network-error"
+
+    def details(self) -> Dict[str, Any]:
+        """Structured, JSON-safe context for the service error frame."""
+        return {}
+
 
 class UnknownNodeError(NetworkError):
     """Raised when a message is addressed to a node that does not exist."""
+
+    code = "unknown-node"
 
     def __init__(self, address):
         super().__init__(f"unknown node address: {address!r}")
         self.address = address
 
+    def details(self) -> Dict[str, Any]:
+        return {"node": str(self.address)}
+
 
 class NoRouteError(NetworkError):
     """Raised when two nodes are not connected by any path in the topology."""
+
+    code = "no-route"
 
     def __init__(self, source, destination):
         super().__init__(f"no route from {source!r} to {destination!r}")
         self.source = source
         self.destination = destination
 
+    def details(self) -> Dict[str, Any]:
+        return {"source": str(self.source), "destination": str(self.destination)}
+
 
 class SimulationError(NetworkError):
     """Raised for scheduling errors (e.g. events in the past)."""
+
+    code = "simulation-error"
+
+    def __init__(self, message, *, time=None, safe_time=None):
+        super().__init__(message)
+        self.time = time
+        self.safe_time = safe_time
+
+    def details(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if self.time is not None:
+            payload["time"] = self.time
+        if self.safe_time is not None:
+            payload["safe_time"] = self.safe_time
+        return payload

@@ -120,7 +120,22 @@ class Host:
                 self.messages_batched += len(payloads)
 
     def deliver(self, message: Message) -> None:
-        """Called by the network when a message arrives at this host."""
+        """Called by the network when a message arrives at this host.
+
+        With a fault injector installed, arrival detours through its
+        receive hook — duplicate suppression, FIFO-restore buffering,
+        journaling and ack generation — which calls back into
+        :meth:`dispatch_delivery` for each message actually handed to the
+        application.  Fault-free runs dispatch directly.
+        """
+        injector = self.network.fault_injector
+        if injector is not None:
+            injector.deliver(self, message)
+            return
+        self.dispatch_delivery(message)
+
+    def dispatch_delivery(self, message: Message) -> None:
+        """Count the arrival and dispatch the registered handler."""
         if not self.up:
             return
         self.messages_received += 1

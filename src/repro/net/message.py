@@ -108,6 +108,13 @@ class Message:
     sent_at: float = 0.0
     delivered_at: float = 0.0
     batch: bool = False
+    #: Transport sequence number stamped by the fault injector's reliable
+    #: (ARQ) layer for duplicate suppression and per-edge FIFO restore.
+    #: ``None`` in fault-free runs, so the wire format is unchanged there;
+    #: like trace context, it is exempt from wire-size accounting (a real
+    #: deployment ships it in the UDP payload header already billed by
+    #: :data:`HEADER_OVERHEAD`).
+    tseq: Any = None
 
     def compute_size(self) -> int:
         """Compute (and cache) this message's billed size in bytes."""

@@ -118,6 +118,9 @@ class Network:
         self._shard_map: Optional[Mapping[Any, int]] = shard_map
         self._shard_id: Optional[int] = None
         self.outbound: List[OutboundMessage] = []
+        #: Installed by :class:`repro.faults.injector.FaultInjector`;
+        #: ``None`` keeps the fault-free fast path byte-identical.
+        self.fault_injector: Optional[Any] = None
         members = topology.nodes if local_nodes is None else list(local_nodes)
         if shard_map is not None and members:
             shards = {shard_map[node] for node in members}
@@ -217,7 +220,30 @@ class Network:
         return self._dispatch(message)
 
     def _dispatch(self, message: Message) -> Message:
-        """Common path: bill the message, record it, schedule its delivery."""
+        """Common path: bill the message, record it, schedule its delivery.
+
+        With a fault injector installed the message detours through its
+        outbound hook (which may drop, duplicate, delay or suppress it);
+        the injector calls back into :meth:`_transmit` for each physical
+        transmission it decides to perform.
+        """
+        if self.fault_injector is not None:
+            return self.fault_injector.outbound(message)
+        return self._transmit(message)
+
+    def _transmit(
+        self,
+        message: Message,
+        extra_latency: float = 0.0,
+        drop: bool = False,
+    ) -> Message:
+        """Bill one physical transmission and schedule (or park) delivery.
+
+        ``extra_latency`` adds fault-injected delay on top of the routed
+        latency; ``drop`` bills the send (the sender did put bytes on the
+        wire) but never schedules delivery.  Both are no-ops in fault-free
+        runs, keeping this the exact pre-fault code path.
+        """
         # Validate the destination BEFORE billing anything, so a failed
         # send cannot corrupt the traffic counters (and a sharded network
         # rejects unknown nodes at send time instead of parking them).
@@ -233,6 +259,7 @@ class Network:
             message.kind,
         )
         latency = self._latency(message.source, message.destination, message.size)
+        latency += extra_latency
         message.delivered_at = self.simulator.now + latency
         seq = self._source_seq.get(message.source, 0)
         self._source_seq[message.source] = seq + 1
@@ -242,12 +269,16 @@ class Network:
         # pure function of the sender's local history, never of global
         # scheduling order, so shards reconstruct the same total order.
         key = (message.sent_at, self.rank(message.source), seq)
+        if drop:
+            return message
         if local:
-            self.simulator.schedule_at(
+            event = self.simulator.schedule_at(
                 message.delivered_at,
                 lambda: destination_host.deliver(message),
                 key=key,
             )
+            if self.fault_injector is not None:
+                self.fault_injector.track_delivery(message.destination, event)
         else:
             self.outbound.append(
                 OutboundMessage(time=message.delivered_at, key=key, message=message)
@@ -263,9 +294,11 @@ class Network:
         precede the safe time (the conservative-lookahead guarantee).
         """
         destination_host = self.host(message.destination)
-        self.simulator.schedule_at(
+        event = self.simulator.schedule_at(
             time, lambda: destination_host.deliver(message), key=key
         )
+        if self.fault_injector is not None:
+            self.fault_injector.track_delivery(message.destination, event)
 
     def drain_outbound(self) -> List[OutboundMessage]:
         """Return and clear the cross-shard messages parked since last drain."""

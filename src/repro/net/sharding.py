@@ -167,6 +167,7 @@ def _encode_outbound(
                     "sent_at": message.sent_at,
                     "delivered_at": message.delivered_at,
                     "batch": message.batch,
+                    "tseq": message.tseq,
                 },
             )
         )
@@ -349,6 +350,13 @@ class _WorkerConfig:
     #: memory).  Explicit sqlite paths are suffixed per shard by the
     #: worker's ExspanNetwork so forked processes never share one WAL.
     storage: Optional[str] = None
+    #: Serialized non-empty :class:`~repro.faults.plan.FaultPlan`
+    #: (``FaultPlan.to_dict()``), or ``None`` for the fault-free fast
+    #: path.  Every worker installs the same plan: link/flap schedules
+    #: are replicated (they are pure functions of the plan seed and
+    #: sender-local counters), crash events fire only on the shard that
+    #: owns the node.
+    faults: Optional[Dict[str, Any]] = None
 
 
 def _worker_main(conn, config: _WorkerConfig) -> None:
@@ -394,6 +402,10 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
         )
         for spec in config.query_specs:
             net.register_spec(spec)
+        if config.faults is not None:
+            from ..faults.plan import FaultPlan
+
+            net.install_faults(FaultPlan.from_dict(config.faults))
         outcomes: Dict[str, Dict[str, Any]] = {}
         issued: Dict[Any, int] = {}
 
@@ -438,6 +450,15 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
                 conn.send(("ok", _worker_summary(net)))
             elif verb == "digest":
                 conn.send(("ok", collect_digest(net)))
+            elif verb == "cdigest":
+                from ..faults.oracle import collect_convergence
+
+                conn.send(("ok", collect_convergence(net)))
+            elif verb == "fstats":
+                injector = net.network.fault_injector
+                conn.send(
+                    ("ok", injector.stats() if injector is not None else {})
+                )
             elif verb == "outcomes":
                 conn.send(("ok", dict(outcomes)))
             elif verb == "records":
@@ -485,6 +506,7 @@ def _inject_envelopes(net, envelopes, manager_for_destination) -> None:
             sent_at=fields["sent_at"],
             delivered_at=fields["delivered_at"],
             batch=fields["batch"],
+            tseq=fields.get("tseq"),
         )
         net.network.inject(message, time, key)
 
@@ -538,12 +560,29 @@ class ShardedExspanNetwork:
         tracer: Any = None,
         traffic_record_cap: Optional[int] = None,
         storage: Optional[str] = None,
+        faults: Any = None,
+        supervise: bool = False,
     ):
         from ..core.modes import ProvenanceMode
         from ..obs import runtime as obs_runtime
 
         if mode is None:
             mode = ProvenanceMode.REFERENCE
+        # ``faults`` accepts a FaultPlan, a fault-spec string, or None; an
+        # empty plan is normalized to None so the run stays on the exact
+        # fault-free code path (the empty-plan byte-identity contract).
+        plan = self._normalize_fault_plan(faults)
+        self.fault_plan = plan
+        self._fault_flaps = plan is not None and plan.has_flaps()
+        self._pending_kills = list(plan.worker_kills) if plan is not None else []
+        if self._pending_kills:
+            # A SIGKILLed worker can only rejoin the barrier protocol if the
+            # supervisor is on to restart and replay it.
+            supervise = True
+        self._supervise = bool(supervise)
+        self.supervisor_restarts = 0
+        self.workers_killed = 0
+        self._windows_run = 0
         self.topology = topology
         self.assignment: Dict[Any, int] = (
             dict(partition)
@@ -555,9 +594,21 @@ class ShardedExspanNetwork:
         if missing:
             raise NetworkError(f"partition misses nodes: {missing[:5]}")
         self._recompute_lookahead()
+        for kill in self._pending_kills:
+            if not (0 <= kill.shard < self.shards):
+                raise NetworkError(
+                    f"worker-kill fault names shard {kill.shard}, but the "
+                    f"run has {self.shards} shards"
+                )
         self._context = mp.get_context("fork")
         self._connections = []
         self._processes = []
+        self._worker_configs: List[_WorkerConfig] = []
+        # Per-shard log of state-mutating commands (seed/window/apply); the
+        # supervisor rebuilds a dead worker by replaying its log against a
+        # fresh fork — deterministic execution makes the replayed worker
+        # bit-identical to the one that died.
+        self._command_log: List[List[Tuple]] = []
         self._parked: List[List[Tuple[float, Tuple, Dict[str, Any]]]] = [
             [] for _ in range(self.shards)
         ]
@@ -596,6 +647,7 @@ class ShardedExspanNetwork:
                 trace=self.tracer is not None,
                 traffic_record_cap=traffic_record_cap,
                 storage=storage,
+                faults=plan.to_dict() if plan is not None else None,
             )
             process = self._context.Process(
                 target=_worker_main, args=(child_conn, config), daemon=True
@@ -604,6 +656,22 @@ class ShardedExspanNetwork:
             child_conn.close()
             self._connections.append(parent_conn)
             self._processes.append(process)
+            self._worker_configs.append(config)
+            self._command_log.append([])
+
+    @staticmethod
+    def _normalize_fault_plan(faults: Any):
+        if faults is None:
+            return None
+        from ..faults.plan import FaultPlan, parse_fault_spec
+
+        if isinstance(faults, str):
+            faults = parse_fault_spec(faults)
+        if not isinstance(faults, FaultPlan):
+            raise NetworkError(
+                "faults must be a FaultPlan, a fault-spec string, or None"
+            )
+        return None if faults.is_empty() else faults
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -659,18 +727,98 @@ class ShardedExspanNetwork:
     # ------------------------------------------------------------------ #
     # worker communication
     # ------------------------------------------------------------------ #
+    #: Verbs that mutate worker state; these are logged for supervisor
+    #: replay.  Read-only verbs (summary/digest/...) are not — replaying
+    #: them would be wasted work and their replies were already consumed.
+    _LOGGED_VERBS = frozenset({"seed", "window", "apply"})
+
     def _command_all(self, commands: List[Tuple]) -> List[Any]:
-        """Send one command per shard, then gather replies (concurrent)."""
-        for conn, command in zip(self._connections, commands):
-            conn.send(command)
+        """Send one command per shard, then gather replies (concurrent).
+
+        With ``supervise=True``, a dead worker (broken pipe / EOF — e.g.
+        SIGKILLed by a :class:`~repro.faults.plan.WorkerKill` fault) is
+        restarted from its config, caught up by replaying its command log,
+        and handed the in-flight command again; the barrier then proceeds
+        as if nothing happened.  A worker that *reports* an error (its
+        simulation raised) is never restarted — replay would just raise
+        again.
+        """
+        for shard, (conn, command) in enumerate(zip(self._connections, commands)):
+            try:
+                conn.send(command)
+            except (BrokenPipeError, OSError):
+                if not self._supervise:
+                    self.close()
+                    raise RuntimeError(f"shard {shard} died (pipe closed)")
+                self._revive_shard(shard)
+                self._connections[shard].send(command)
         replies = []
-        for shard, conn in enumerate(self._connections):
-            status, payload = conn.recv()
+        for shard, command in enumerate(commands):
+            try:
+                status, payload = self._connections[shard].recv()
+            except (EOFError, OSError):
+                if not self._supervise:
+                    self.close()
+                    raise RuntimeError(f"shard {shard} died (no reply)")
+                self._revive_shard(shard)
+                self._connections[shard].send(command)
+                status, payload = self._connections[shard].recv()
             if status != "ok":
                 self.close()
                 raise RuntimeError(f"shard {shard} failed:\n{payload}")
             replies.append(payload)
+        if self._supervise and commands and commands[0][0] in self._LOGGED_VERBS:
+            for shard, command in enumerate(commands):
+                self._command_log[shard].append(command)
         return replies
+
+    def _revive_shard(self, shard: int) -> None:
+        """Fork a fresh worker for *shard* and replay its command log."""
+        process = self._processes[shard]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        try:
+            self._connections[shard].close()
+        except OSError:
+            pass
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "fault.worker_restart",
+                cat="fault",
+                shard=shard,
+                replay=len(self._command_log[shard]),
+            )
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self._worker_configs[shard]),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._connections[shard] = parent_conn
+        self._processes[shard] = process
+        self.supervisor_restarts += 1
+        for command in self._command_log[shard]:
+            parent_conn.send(command)
+            status, payload = parent_conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"shard {shard} replay failed:\n{payload}")
+        if span is not None:
+            span.end()
+
+    def supervisor_stats(self) -> Dict[str, int]:
+        """Supervision counters: restarts performed, kills delivered."""
+        return {
+            "supervised": int(self._supervise),
+            "restarts": self.supervisor_restarts,
+            "workers_killed": self.workers_killed,
+            "logged_commands": sum(len(log) for log in self._command_log),
+        }
 
     def _absorb_window_replies(self, replies: List[Any]) -> None:
         for reply in replies:
@@ -702,6 +850,17 @@ class ShardedExspanNetwork:
             # still message each other).  Shrink the window accordingly;
             # without this, a free-running shard could receive an envelope
             # in its past and trip the safe-time assertion.
+            lookahead = (
+                min(lookahead, _DEFAULT_LATENCY)
+                if lookahead is not None
+                else _DEFAULT_LATENCY
+            )
+        if self.shards > 1 and getattr(self, "_fault_flaps", False):
+            # Link flaps execute *inside* the workers, so the driver's
+            # topology replica never sees the down period: while a flapped
+            # link is out the network may be disconnected and charge the
+            # no-route default latency, undercutting every cut edge.  Keep
+            # the window conservative for the whole run.
             lookahead = (
                 min(lookahead, _DEFAULT_LATENCY)
                 if lookahead is not None
@@ -759,6 +918,8 @@ class ShardedExspanNetwork:
             self._absorb_window_replies(replies)
             if span is not None:
                 span.end(events=sum(reply[3] for reply in replies))
+            self._windows_run += 1
+            self._deliver_worker_kills()
         if limit is not None and any(self._parked):
             # Envelopes at or past the limit: hand them over with the limit
             # itself as the horizon.  Everything left lives at or past the
@@ -771,6 +932,29 @@ class ShardedExspanNetwork:
                 [("window", limit, parked[shard]) for shard in range(self.shards)]
             )
             self._absorb_window_replies(replies)
+
+    def _deliver_worker_kills(self) -> None:
+        """SIGKILL workers whose :class:`WorkerKill` fault has come due.
+
+        The kill lands *between* windows — the worker is at a barrier with
+        its reply already consumed — modelling a worker host failing while
+        parked.  The supervisor revives it on the next command.
+        """
+        if not self._pending_kills:
+            return
+        import os
+        import signal
+
+        due = [k for k in self._pending_kills if self._windows_run >= k.after_windows]
+        if not due:
+            return
+        self._pending_kills = [k for k in self._pending_kills if k not in due]
+        for kill in due:
+            process = self._processes[kill.shard]
+            if process.is_alive():
+                os.kill(process.pid, signal.SIGKILL)
+                process.join(timeout=5.0)
+                self.workers_killed += 1
 
     def run_to_fixpoint(self) -> float:
         """Run windows until no shard has pending events or envelopes."""
@@ -913,6 +1097,27 @@ class ShardedExspanNetwork:
         # Deterministic address order (topology order), matching the serial
         # collector's iteration over net.nodes.
         return {node: merged[node] for node in self.topology.nodes if node in merged}
+
+    def convergence_digest(self) -> str:
+        """The counter-free convergence digest, merged across shards.
+
+        Byte-comparable to :func:`repro.faults.oracle.convergence_digest`
+        of a serial run: the per-node states are keyed by ``repr(address)``
+        and the digest sorts them, so shard count cannot affect it.
+        """
+        from ..faults.oracle import digest_convergence
+
+        merged: Dict[str, Dict[str, Any]] = {}
+        for reply in self._command_all([("cdigest",)] * self.shards):
+            merged.update(reply)
+        return digest_convergence(merged)
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Fault/transport counters summed across every shard's injector."""
+        merged = merge_counter_dicts(
+            self._command_all([("fstats",)] * self.shards)
+        )
+        return dict(sorted(merged.items()))
 
     def parallelism_report(self) -> Dict[str, Any]:
         """Machine-independent parallelism accounting of the run so far.

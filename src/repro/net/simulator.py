@@ -183,12 +183,14 @@ class Simulator:
         """
         if time < self._now:
             raise SimulationError(
-                f"cannot schedule event at {time} before current time {self._now}"
+                f"cannot schedule event at {time} before current time {self._now}",
+                time=time, safe_time=self._safe_time,
             )
         if time < self._safe_time:
             raise SimulationError(
                 f"cannot schedule event at {time} before safe time "
-                f"{self._safe_time} (window-barrier violation)"
+                f"{self._safe_time} (window-barrier violation)",
+                time=time, safe_time=self._safe_time,
             )
         event = ScheduledEvent(
             time=time, key=key, sequence=self._sequence, callback=callback, _owner=self

@@ -331,6 +331,8 @@ QUERY_COUNTER_KEYS = (
     "coalesced_inflight",
     "coalesced_roots",
     "stale_drops",
+    "deadline_expirations",
+    "late_drops",
     "cache_entries",
     "cache_hits",
     "cache_misses",

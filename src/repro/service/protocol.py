@@ -61,6 +61,10 @@ ERROR_CODES: Dict[str, str] = {
     "unknown-op": "request op is not in the server's catalogue",
     "query-error": "the provenance engine rejected the request",
     "timeout": "the query did not complete within the event budget",
+    "unknown-node": "a request addressed a node that does not exist",
+    "no-route": "the named nodes are not connected by any path",
+    "simulation-error": "the simulator rejected a scheduling operation",
+    "network-error": "a network-substrate failure not covered above",
     "shutting-down": "the server is draining and no longer accepts requests",
     "internal": "unexpected server-side failure",
 }

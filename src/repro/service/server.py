@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.api import ExspanNetwork
 from ..core.config import MODE_NAMES
 from ..core.errors import ProvenanceError, QueryError, QueryTimeoutError
+from ..net.errors import NetworkError
 from ..core.requests import (
     QueryRequest,
     SpecDescriptor,
@@ -246,6 +247,31 @@ class ExspanService:
             raise ProtocolError("query-error", f"unknown rule {rule!r}") from None
         return {"rule": rule, "text": text}
 
+    def op_faults(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Install a fault plan and/or report the injector's state.
+
+        ``plan`` (optional) is a fault-spec string for
+        :func:`repro.faults.plan.parse_fault_spec`; an empty plan installs
+        nothing.  ``digest`` (optional bool) additionally computes the
+        convergence digest of the current network state — the oracle the
+        chaos gate compares against a fault-free run.
+        """
+        plan = params.get("plan")
+        if plan is not None:
+            _require(isinstance(plan, str), "faults 'plan' must be a spec string")
+            self.network.install_faults(plan)
+        injector = self.network.fault_injector
+        result: Dict[str, Any] = {
+            "installed": injector is not None,
+            "plan": injector.plan.describe() if injector is not None else None,
+            "stats": injector.stats() if injector is not None else {},
+        }
+        if params.get("digest"):
+            from ..faults.oracle import convergence_digest
+
+            result["convergence"] = convergence_digest(self.network)
+        return result
+
     def op_prov(self, params: Dict[str, Any]) -> Dict[str, Any]:
         fact = self._fact(params)
         depth = params.get("depth", 8)
@@ -279,6 +305,16 @@ class ServiceServer:
         self._inflight = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        # Bounded (client, request id) -> response cache making request
+        # retransmission idempotent: a client that lost the connection
+        # after the server executed (but before the reply arrived) can
+        # resend the same id and get the recorded response instead of
+        # re-running the mutation.  Only requests carrying a "client"
+        # field participate; only successful responses are recorded
+        # (failures never mutated, so re-execution is already safe).
+        self._response_cache: Dict[Tuple[Any, Any], Dict[str, Any]] = {}
+        self._response_cache_cap = 512
+        self.idempotent_replays = 0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -355,12 +391,19 @@ class ServiceServer:
         await writer.drain()
 
     @staticmethod
-    def _error_frame(request_id: Any, error: ProtocolError) -> Dict[str, Any]:
-        return {
+    def _error_frame(
+        request_id: Any,
+        error: ProtocolError,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
             "id": request_id,
             "ok": False,
             "error": {"code": error.code, "message": error.message},
         }
+        if details:
+            payload["error"]["details"] = details
+        return payload
 
     async def _handle_request(
         self, request: Dict[str, Any], greeted: bool
@@ -388,16 +431,35 @@ class ServiceServer:
             )
         if op == "shutdown":
             return {"id": request_id, "ok": True, "result": {"stopping": True}}
+        client = request.get("client")
+        cache_key = (client, request_id) if client is not None else None
+        if cache_key is not None:
+            cached = self._response_cache.get(cache_key)
+            if cached is not None:
+                self.idempotent_replays += 1
+                return cached
         self._inflight += 1
         self._idle.clear()
         try:
             async with self._engine_lock:
                 result = self.service.dispatch(op, params)
-            return {"id": request_id, "ok": True, "result": result}
+            response = {"id": request_id, "ok": True, "result": result}
+            if cache_key is not None:
+                if len(self._response_cache) >= self._response_cache_cap:
+                    self._response_cache.pop(next(iter(self._response_cache)))
+                self._response_cache[cache_key] = response
+            return response
         except ProtocolError as exc:
             return self._error_frame(request_id, exc)
         except QueryTimeoutError as exc:
             return self._error_frame(request_id, ProtocolError("timeout", str(exc)))
+        except NetworkError as exc:
+            # Structured network/simulation failures keep their own code
+            # (unknown-node, no-route, simulation-error, network-error)
+            # and machine-readable details instead of a catch-all.
+            return self._error_frame(
+                request_id, ProtocolError(exc.code, str(exc)), details=exc.details()
+            )
         except (QueryError, ProvenanceError, ValueError) as exc:
             return self._error_frame(request_id, ProtocolError("query-error", str(exc)))
         except Exception as exc:  # pragma: no cover - defensive

@@ -43,6 +43,10 @@ Specials
   \\prov NAME(V1,...) [DEPTH]       pretty-print the derivation tree
   \\stats                           network traffic statistics
   \\metrics                         metrics registry snapshot
+  \\faults [PLAN] [digest]          install a fault plan / show injector
+                                   state (PLAN is a fault-spec string,
+                                   e.g. "drop:a->b:p=0.3"; "digest"
+                                   prints the convergence digest)
   \\trace on|off                    per-query sim-time timing lines
   \\snapshot PATH                   checkpoint the network state to a file
   \\shutdown                        drain and stop the connected service
@@ -190,6 +194,7 @@ class ExspanShell:
             "\\prov",
             "\\stats",
             "\\metrics",
+            "\\faults",
             "\\trace",
             "\\snapshot",
             "\\shutdown",
@@ -297,6 +302,8 @@ class ExspanShell:
             self._stats()
         elif command == "\\metrics":
             self._metrics()
+        elif command == "\\faults":
+            self._faults(args)
         elif command == "\\trace":
             if args and args[0] in ("on", "off"):
                 self.trace = args[0] == "on"
@@ -351,6 +358,25 @@ class ExspanShell:
             values = metrics.get(section, {})
             for name in sorted(values):
                 self._print(f"{section[:-1]} {name} = {values[name]}")
+
+    def _faults(self, args: Sequence[str]) -> None:
+        params: Dict[str, Any] = {}
+        # "digest" may trail a plan string; everything else is the plan.
+        tokens = list(args)
+        if tokens and tokens[-1] == "digest":
+            params["digest"] = True
+            tokens = tokens[:-1]
+        if tokens:
+            params["plan"] = " ".join(tokens)
+        result = self.client.call("faults", **params)
+        if result["installed"]:
+            self._print(f"plan: {result['plan']}")
+            for name in sorted(result["stats"]):
+                self._print(f"  {name} = {result['stats'][name]}")
+        else:
+            self._print("no fault plan installed")
+        if "convergence" in result:
+            self._print(f"convergence: {result['convergence']}")
 
     # ------------------------------------------------------------------ #
     # loops

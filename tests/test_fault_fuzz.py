@@ -1,0 +1,127 @@
+"""Property-based chaos: random fault plans over random update interleavings.
+
+For every protocol, every generated fault plan, and every generated
+insert/delete interleaving of link facts, the faulted run must converge
+to the same final protocol tables (convergence digest) as a fault-free
+run applying the *same* interleaving.  This is the subsystem's headline
+oracle (see docs/FAULTS.md) explored by Hypothesis instead of a
+hand-picked matrix.
+
+Crashes always carry a restart and the topology is the tie-free chaos
+ring — a permanently dead node or an equal-cost tie would make the
+oracle unsound by design, not reveal a bug.  ``derandomize=True`` keeps
+CI deterministic (repo policy: no flaky gates); bump ``max_examples``
+locally to explore further.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExspanConfig, ExspanNetwork, ProvenanceMode
+from repro.datalog import Fact
+from repro.experiments.trials import chaos_topology
+from repro.faults import convergence_digest
+from repro.protocols.mincost import mincost_program
+from repro.protocols.packetforward import packet_event, packetforward_program
+from repro.protocols.pathvector import pathvector_program
+
+SIZE = 6
+NODES = [f"n{i}" for i in range(SIZE)]
+#: Directed link facts of the chaos ring, mirroring seed_links().
+RING_LINKS = []
+for i in range(SIZE):
+    a, b, cost = f"n{i}", f"n{(i + 1) % SIZE}", 2 ** (i % SIZE)
+    RING_LINKS.append((a, b, cost))
+    RING_LINKS.append((b, a, cost))
+
+
+def resolve_program(name):
+    if name == "mincost":
+        return mincost_program()
+    if name == "pathvector":
+        return pathvector_program()
+    return pathvector_program().extended(packetforward_program(), "pv+fwd")
+
+
+@st.composite
+def fault_plans(draw):
+    """A quiescing fault plan: bounded link faults, crashes always restart."""
+    parts = [f"seed={draw(st.integers(0, 2**16))}", "attempts=8"]
+    if draw(st.booleans()):
+        prob = draw(st.sampled_from([0.1, 0.2, 0.3]))
+        parts.append(f"drop:*->*:p={prob},n={draw(st.integers(3, 15))}")
+    if draw(st.booleans()):
+        prob = draw(st.sampled_from([0.1, 0.2]))
+        parts.append(f"dup:*->*:p={prob},n={draw(st.integers(3, 12))}")
+    if draw(st.booleans()):
+        delay = draw(st.sampled_from([0.001, 0.002, 0.004]))
+        parts.append(f"delay:*->*:p=0.2,d={delay}")
+    if draw(st.booleans()):
+        node = draw(st.sampled_from(NODES[1:]))
+        at = draw(st.sampled_from([0.0005, 0.001, 0.002]))
+        restart = draw(st.sampled_from([0.01, 0.02]))
+        parts.append(f"crash:{node}@{at}:restart={restart}")
+    if draw(st.booleans()):
+        parts.append(f"straggler:{draw(st.sampled_from(NODES))}:d=0.002")
+    return "; ".join(parts)
+
+
+#: (kind, link index) pairs; normalized against the live link set below so
+#: deletes hit present links and inserts restore absent ones.
+interleavings = st.lists(
+    st.tuples(
+        st.sampled_from(["delete", "insert"]),
+        st.integers(0, len(RING_LINKS) - 1),
+    ),
+    max_size=4,
+)
+
+
+def run_interleaving(program_name, ops, faults):
+    network = ExspanNetwork(
+        chaos_topology(SIZE, seed=0),
+        resolve_program(program_name),
+        config=ExspanConfig(mode=ProvenanceMode.REFERENCE, seed=0),
+    )
+    if faults is not None:
+        network.install_faults(faults)
+    network.seed_links()
+    network.run_to_fixpoint()
+    present = set(range(len(RING_LINKS)))
+    for kind, index in ops:
+        if kind == "delete" and index in present:
+            present.discard(index)
+            network.delete_fact(Fact("link", RING_LINKS[index]))
+        elif kind == "insert" and index not in present:
+            present.add(index)
+            network.insert_fact(Fact("link", RING_LINKS[index]))
+        else:
+            continue
+        network.run_to_fixpoint()
+    if program_name == "packetforward":
+        for packet in (
+            packet_event("n0", "n0", f"n{SIZE // 2}", "x" * 16),
+            packet_event(f"n{SIZE - 1}", f"n{SIZE - 1}", "n1", "x" * 16),
+        ):
+            network.insert_fact(packet)
+            network.run_to_fixpoint()
+    return network
+
+
+@pytest.mark.parametrize("program_name", ["mincost", "pathvector", "packetforward"])
+@given(plan=fault_plans(), ops=interleavings)
+@settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_plans_over_random_interleavings_converge(program_name, plan, ops):
+    expected = convergence_digest(run_interleaving(program_name, ops, None))
+    faulted = run_interleaving(program_name, ops, plan)
+    assert convergence_digest(faulted) == expected, (
+        f"divergence under plan {plan!r} with ops {ops!r}"
+    )
